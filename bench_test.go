@@ -1,0 +1,469 @@
+package mlink
+
+// Benchmark harness: one benchmark per figure of the paper (see DESIGN.md's
+// per-experiment index) plus ablations of the design choices DESIGN.md
+// calls out. Each benchmark runs its experiment driver and reports the
+// headline quantity of the corresponding figure via b.ReportMetric, so
+// `go test -bench=. -benchmem` regenerates every reported result. Full
+// tables are printed by cmd/mlink-exp.
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"mlink/internal/body"
+	"mlink/internal/core"
+	"mlink/internal/csi"
+	"mlink/internal/eval"
+	"mlink/internal/experiments"
+	"mlink/internal/geom"
+	"mlink/internal/music"
+	"mlink/internal/propagation"
+	"mlink/internal/sanitize"
+	"mlink/internal/scenario"
+)
+
+// Shared heavyweight fixtures, built once per bench binary.
+var (
+	charOnce sync.Once
+	charRes  *experiments.CharacterizationResult
+	charErr  error
+
+	campOnce sync.Once
+	campRes  *experiments.Campaign
+	campErr  error
+)
+
+func characterization(b *testing.B) *experiments.CharacterizationResult {
+	b.Helper()
+	charOnce.Do(func() {
+		charRes, charErr = experiments.RunCharacterization(200, 10, 1)
+	})
+	if charErr != nil {
+		b.Fatal(charErr)
+	}
+	return charRes
+}
+
+func campaign(b *testing.B) *experiments.Campaign {
+	b.Helper()
+	campOnce.Do(func() {
+		cfg := experiments.DefaultCampaignConfig()
+		campRes, campErr = experiments.RunCampaign(cfg)
+	})
+	if campErr != nil {
+		b.Fatal(campErr)
+	}
+	return campRes
+}
+
+func BenchmarkFig2aRSSChangeCDF(b *testing.B) {
+	c := characterization(b)
+	var frac float64
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig2a(c, 25)
+		if err != nil {
+			b.Fatal(err)
+		}
+		frac = r.FracNegative
+	}
+	b.ReportMetric(frac, "fracRSSdrop")
+}
+
+func BenchmarkFig2bCrossingTrace(b *testing.B) {
+	var divergent float64
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig2b(400, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		divergent = float64(r.DivergentPackets)
+	}
+	b.ReportMetric(divergent, "divergentPkts")
+}
+
+func BenchmarkFig3aMultipathFactorCDF(b *testing.B) {
+	c := characterization(b)
+	var med float64
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig3a(c, 25)
+		if err != nil {
+			b.Fatal(err)
+		}
+		med = r.P50
+	}
+	b.ReportMetric(med, "medianMu")
+}
+
+func BenchmarkFig3bLogFit(b *testing.B) {
+	c := characterization(b)
+	var slope float64
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig3bc(c, []int{5})
+		if err != nil {
+			b.Fatal(err)
+		}
+		slope = r.Fits[0].A
+	}
+	b.ReportMetric(slope, "fitSlopeA")
+}
+
+func BenchmarkFig3cLogFitAcrossSubcarriers(b *testing.B) {
+	c := characterization(b)
+	var mono float64
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig3bc(c, []int{5, 10, 15, 20, 25})
+		if err != nil {
+			b.Fatal(err)
+		}
+		mono = r.MonotoneFraction
+	}
+	b.ReportMetric(mono, "monotoneFrac")
+}
+
+func BenchmarkFig4TemporalStability(b *testing.B) {
+	var spread float64
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig4(600, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		spread = r.Locations[0].MaxSpread
+	}
+	b.ReportMetric(spread, "maxMuSpread")
+}
+
+func BenchmarkFig5bMUSICPseudospectrum(b *testing.B) {
+	var peaks float64
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig5b(100, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		peaks = float64(len(r.Peaks))
+	}
+	b.ReportMetric(peaks, "peaks")
+}
+
+func BenchmarkFig5cRSSByAngle(b *testing.B) {
+	var peakDeg float64
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig5c(16, 20, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		peakDeg = r.PeakAngleDeg
+	}
+	b.ReportMetric(peakDeg, "peakAngleDeg")
+}
+
+func BenchmarkFig7ROC(b *testing.B) {
+	c := campaign(b)
+	var basTPR, subTPR, pathTPR, pathFPR float64
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig7(c)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, s := range r.PerScheme {
+			switch s.Scheme {
+			case core.SchemeBaseline:
+				basTPR = s.Balanced.TPR
+			case core.SchemeSubcarrier:
+				subTPR = s.Balanced.TPR
+			case core.SchemeSubcarrierPath:
+				pathTPR = s.Balanced.TPR
+				pathFPR = s.Balanced.FPR
+			}
+		}
+	}
+	b.ReportMetric(100*basTPR, "baselineTP%")
+	b.ReportMetric(100*subTPR, "subcarrierTP%")
+	b.ReportMetric(100*pathTPR, "pathTP%")
+	b.ReportMetric(100*pathFPR, "pathFP%")
+}
+
+func BenchmarkFig8PerCase(b *testing.B) {
+	c := campaign(b)
+	var case3 float64
+	for i := 0; i < b.N; i++ {
+		roc, err := experiments.Fig7(c)
+		if err != nil {
+			b.Fatal(err)
+		}
+		r, err := experiments.Fig8(c, roc, []int{1, 2, 3, 4, 5})
+		if err != nil {
+			b.Fatal(err)
+		}
+		case3 = r.PerScheme[core.SchemeSubcarrierPath][2]
+	}
+	b.ReportMetric(100*case3, "case3PathTP%")
+}
+
+func BenchmarkFig9DetectionRange(b *testing.B) {
+	var basRange, pathRange float64
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig9(25, 2, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		basRange = r.RangeAt90[core.SchemeBaseline]
+		pathRange = r.RangeAt90[core.SchemeSubcarrierPath]
+	}
+	b.ReportMetric(basRange, "baselineRange_m")
+	b.ReportMetric(pathRange, "pathRange_m")
+}
+
+func BenchmarkFig10AngleErrors(b *testing.B) {
+	var medSingle, medAvg float64
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig10(40, 25, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		medSingle = r.MedianSingle
+		medAvg = r.MedianAvg
+	}
+	b.ReportMetric(medSingle, "medErrSingle_deg")
+	b.ReportMetric(medAvg, "medErrAvg_deg")
+}
+
+func BenchmarkFig11PerAngle(b *testing.B) {
+	var gainLarge float64
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig11(7, 1.5, 25, 2, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Path-weighting gain over baseline at the largest angle bin.
+		last := len(r.AnglesDeg) - 1
+		gainLarge = r.PerScheme[core.SchemeSubcarrierPath][last] - r.PerScheme[core.SchemeBaseline][last]
+	}
+	b.ReportMetric(100*gainLarge, "largeAngleGain_pp")
+}
+
+func BenchmarkFig12PacketQuantity(b *testing.B) {
+	var at25 float64
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig12([]int{1, 5, 25}, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		at25 = r.PerScheme[core.SchemeSubcarrierPath][2]
+	}
+	b.ReportMetric(100*at25, "pathTPat25pkts%")
+}
+
+// --- Ablations (DESIGN.md §5) ------------------------------------------
+
+// ablationROC calibrates a detector variant on link case 2 and returns the
+// balanced-point TPR over a small positive/negative sample set.
+func ablationROC(b *testing.B, mutate func(*core.Config)) float64 {
+	b.Helper()
+	s, err := scenario.LinkCase(2, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	x, err := s.NewExtractor(9)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := core.DefaultConfig(s.Grid, core.SchemeSubcarrierPath, s.Env.RX.Offsets())
+	mutate(&cfg)
+	profile, err := core.Calibrate(cfg, x.CaptureN(150, nil))
+	if err != nil {
+		b.Fatal(err)
+	}
+	det, err := core.NewDetector(cfg, profile)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(31))
+	var samples []eval.Sample
+	for _, loc := range s.Grid3x3() {
+		target := body.Default(loc)
+		target.Position = geom.Point{X: loc.X + rng.NormFloat64()*0.01, Y: loc.Y + rng.NormFloat64()*0.01}
+		pos, err := det.Score(x.CaptureN(25, []body.Body{target}))
+		if err != nil {
+			b.Fatal(err)
+		}
+		neg, err := det.Score(x.CaptureN(25, nil))
+		if err != nil {
+			b.Fatal(err)
+		}
+		samples = append(samples, eval.Sample{Score: pos, Positive: true}, eval.Sample{Score: neg})
+	}
+	points, err := eval.ROC(samples)
+	if err != nil {
+		b.Fatal(err)
+	}
+	bp, err := eval.BalancedPoint(points)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return bp.TPR
+}
+
+// BenchmarkAblationStabilityRatio compares Eq. 15 (mean μ × stability
+// ratio) against the plain per-packet Eq. 12 weighting.
+func BenchmarkAblationStabilityRatio(b *testing.B) {
+	var eq15, eq12 float64
+	for i := 0; i < b.N; i++ {
+		eq15 = ablationROC(b, func(c *core.Config) {})
+		eq12 = ablationROC(b, func(c *core.Config) { c.UsePerPacketWeights = true })
+	}
+	b.ReportMetric(100*eq15, "eq15TP%")
+	b.ReportMetric(100*eq12, "eq12TP%")
+}
+
+// BenchmarkAblationAngularClamp compares the paper's ±60° path-weight clamp
+// against an unclamped ±90° window.
+func BenchmarkAblationAngularClamp(b *testing.B) {
+	var clamped, unclamped float64
+	for i := 0; i < b.N; i++ {
+		clamped = ablationROC(b, func(c *core.Config) {})
+		unclamped = ablationROC(b, func(c *core.Config) {
+			c.PathWeight.MinDeg = -89.9
+			c.PathWeight.MaxDeg = 89.9
+		})
+	}
+	b.ReportMetric(100*clamped, "clamped60TP%")
+	b.ReportMetric(100*unclamped, "unclampedTP%")
+}
+
+// BenchmarkAblationSanitize compares detection with and without phase
+// sanitization.
+func BenchmarkAblationSanitize(b *testing.B) {
+	var on, off float64
+	for i := 0; i < b.N; i++ {
+		on = ablationROC(b, func(c *core.Config) {})
+		off = ablationROC(b, func(c *core.Config) { c.Sanitize = false })
+	}
+	b.ReportMetric(100*on, "sanitizedTP%")
+	b.ReportMetric(100*off, "rawTP%")
+}
+
+// BenchmarkAblationLOSApprox grades the Eq. 10 dominant-tap LOS-power
+// approximation against the simulator's oracle LOS power.
+func BenchmarkAblationLOSApprox(b *testing.B) {
+	s, err := scenario.Classroom(5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	x, err := s.NewExtractor(7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	freqs := s.Grid.Frequencies()
+	var meanAbsErr float64
+	for i := 0; i < b.N; i++ {
+		var acc, count float64
+		for p := 0; p < 20; p++ {
+			f := x.Capture(nil)
+			mu, err := core.MultipathFactors(f.CSI[1], s.Grid)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for k := range mu {
+				los, total := s.Env.OracleLOS(freqs[k], 1, nil)
+				if total <= 0 {
+					continue
+				}
+				oracle := los / total
+				d := mu[k] - oracle
+				if d < 0 {
+					d = -d
+				}
+				acc += d
+				count++
+			}
+		}
+		meanAbsErr = acc / count
+	}
+	b.ReportMetric(meanAbsErr, "muAbsErrVsOracle")
+}
+
+// BenchmarkAblationAntennaCount measures MUSIC accuracy as the array grows
+// (3 antennas as in the paper vs 8 — the paper's future-work lever).
+func BenchmarkAblationAntennaCount(b *testing.B) {
+	var err3, err8 float64
+	for i := 0; i < b.N; i++ {
+		err3 = angleErrWithAntennas(b, 3)
+		err8 = angleErrWithAntennas(b, 8)
+	}
+	b.ReportMetric(err3, "medErr3ant_deg")
+	b.ReportMetric(err8, "medErr8ant_deg")
+}
+
+func mustRoom(b *testing.B) *propagation.Room {
+	b.Helper()
+	room, err := propagation.RectRoom(6, 8, propagation.Drywall)
+	if err != nil {
+		b.Fatal(err)
+	}
+	room.Walls[1].Mat = propagation.Concrete
+	return room
+}
+
+func defaultParams() propagation.LinkParams { return propagation.DefaultLinkParams() }
+
+func defaultImp() csi.Impairments { return csi.DefaultImpairments() }
+
+func angleErrWithAntennas(b *testing.B, n int) float64 {
+	b.Helper()
+	s, err := scenario.Build(scenario.Spec{
+		Name:       "ablation-array",
+		Room:       mustRoom(b),
+		TX:         geom.Point{X: 1.5, Y: 6.8},
+		RXCenter:   geom.Point{X: 4.5, Y: 6.8},
+		NumAnts:    n,
+		Params:     defaultParams(),
+		MaxBounces: 2,
+		Imp:        defaultImp(),
+		Seed:       77,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	est, err := music.NewEstimator(s.Env.RX.Offsets(), 299792458.0/s.Grid.Center)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var errs []float64
+	for trial := 0; trial < 15; trial++ {
+		x, err := s.NewExtractor(int64(500 + trial))
+		if err != nil {
+			b.Fatal(err)
+		}
+		frames := x.CaptureN(10, nil)
+		clean, err := sanitize.Frames(frames, s.Grid.Indices)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cov, err := music.Covariance(clean, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		spec, err := est.Pseudospectrum(cov, 2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		dom, err := spec.DominantAngle()
+		if err != nil {
+			b.Fatal(err)
+		}
+		// LOS arrives at broadside in this geometry.
+		if dom < 0 {
+			dom = -dom
+		}
+		errs = append(errs, dom)
+	}
+	// Median.
+	for i := 1; i < len(errs); i++ {
+		for j := i; j > 0 && errs[j] < errs[j-1]; j-- {
+			errs[j], errs[j-1] = errs[j-1], errs[j]
+		}
+	}
+	return errs[len(errs)/2]
+}

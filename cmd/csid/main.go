@@ -1,0 +1,122 @@
+// Command csid is the emulated receiver-NIC daemon: it simulates one of the
+// paper's link scenarios and streams the resulting CSI frames over TCP in
+// the csinet wire format, playing the role the Intel 5300 + CSI Tool play
+// in the paper's testbed.
+//
+// Usage:
+//
+//	csid -addr 127.0.0.1:5500 -case 2 -seed 1 -rate 50 \
+//	     -presence-at 200 -presence-x 3 -presence-y 4
+//
+// With -presence-at N, a person appears at packet N (and leaves at
+// 2N), so a downstream detector has something to find.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"mlink/internal/body"
+	"mlink/internal/csi"
+	"mlink/internal/csinet"
+	"mlink/internal/geom"
+	"mlink/internal/scenario"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	var (
+		addr       = flag.String("addr", "127.0.0.1:5500", "listen address")
+		caseID     = flag.Int("case", 2, "link case 1..5 (Fig. 6)")
+		seed       = flag.Int64("seed", 1, "simulation seed")
+		rate       = flag.Float64("rate", 50, "packets per second (0 = unpaced)")
+		background = flag.Int("background", 3, "background people")
+		presenceAt = flag.Int("presence-at", 300, "packet index where a person appears (0 = never)")
+		presenceX  = flag.Float64("presence-x", 0, "presence x (0 = link midpoint)")
+		presenceY  = flag.Float64("presence-y", 0, "presence y (0 = link midpoint)")
+	)
+	flag.Parse()
+
+	s, err := scenario.LinkCase(*caseID, *seed)
+	if err != nil {
+		return err
+	}
+	target := s.LinkMidpoint()
+	if *presenceX != 0 || *presenceY != 0 {
+		target = geom.Point{X: *presenceX, Y: *presenceY}
+	}
+
+	indices := make([]int16, s.Grid.Len())
+	for i, idx := range s.Grid.Indices {
+		indices[i] = int16(idx)
+	}
+	hello := csinet.Hello{
+		CenterFreqHz:   s.Grid.Center,
+		NumAntennas:    3,
+		NumSubcarriers: uint8(s.Grid.Len()),
+		Indices:        indices,
+	}
+
+	var streamID int64
+	factory := func() csinet.Source {
+		streamID++
+		id := streamID
+		x, err := s.NewExtractor(id)
+		if err != nil {
+			log.Printf("stream %d: %v", id, err)
+			return csinet.SourceFunc(func() (*csi.Frame, error) { return nil, err })
+		}
+		rng := rand.New(rand.NewSource(*seed*77 + id))
+		bg, err := scenario.NewBackground(*background, scenario.DefaultAnchors(s), rng)
+		if err != nil {
+			return csinet.SourceFunc(func() (*csi.Frame, error) { return nil, err })
+		}
+		n := 0
+		return csinet.SourceFunc(func() (*csi.Frame, error) {
+			bodies := bg.Step()
+			if *presenceAt > 0 && n >= *presenceAt && n < 2**presenceAt {
+				bodies = append(bodies, body.Default(target))
+			}
+			n++
+			return x.Capture(bodies), nil
+		})
+	}
+
+	srv, err := csinet.NewServer(*addr, hello, factory)
+	if err != nil {
+		return err
+	}
+	if *rate > 0 {
+		srv.Interval = time.Duration(float64(time.Second) / *rate)
+	}
+	fmt.Printf("csid: serving %s (link %.1f m) on %s at %.0f pkt/s\n",
+		s.Name, s.LinkLength(), srv.Addr(), *rate)
+	if *presenceAt > 0 {
+		fmt.Printf("csid: a person appears at %v from packet %d to %d\n", target, *presenceAt, 2**presenceAt)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		srv.Close()
+	}()
+	err = srv.Serve(ctx)
+	if ctx.Err() != nil {
+		fmt.Println("csid: shut down")
+		return nil
+	}
+	return err
+}

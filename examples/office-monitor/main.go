@@ -1,0 +1,142 @@
+// Office-monitor: the distributed deployment end to end, in one process. A
+// csinet server emulates the receiver NIC of office link case 4 and streams
+// CSI over TCP; a collector client calibrates and watches windows while a
+// scripted person enters and leaves the room.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"math/rand"
+	"time"
+
+	"mlink/internal/body"
+	"mlink/internal/channel"
+	"mlink/internal/core"
+	"mlink/internal/csi"
+	"mlink/internal/csinet"
+	"mlink/internal/scenario"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	s, err := scenario.LinkCase(4, 7)
+	if err != nil {
+		return err
+	}
+
+	// --- Server side: emulated NIC daemon -----------------------------
+	indices := make([]int16, s.Grid.Len())
+	for i, idx := range s.Grid.Indices {
+		indices[i] = int16(idx)
+	}
+	hello := csinet.Hello{
+		CenterFreqHz:   s.Grid.Center,
+		NumAntennas:    3,
+		NumSubcarriers: uint8(s.Grid.Len()),
+		Indices:        indices,
+	}
+	// Scripted occupancy: empty during calibration, then a person walks to
+	// the middle of the link, lingers, and leaves.
+	const (
+		calPackets   = 250
+		enterAt      = 400
+		leaveAt      = 650
+		totalPackets = 900
+	)
+	target := body.Default(s.LinkMidpoint())
+	factory := func() csinet.Source {
+		x, err := s.NewExtractor(42)
+		if err != nil {
+			return csinet.SourceFunc(func() (*csi.Frame, error) { return nil, err })
+		}
+		rng := rand.New(rand.NewSource(99))
+		bg, err := scenario.NewBackground(3, scenario.DefaultAnchors(s), rng)
+		if err != nil {
+			return csinet.SourceFunc(func() (*csi.Frame, error) { return nil, err })
+		}
+		n := 0
+		return csinet.SourceFunc(func() (*csi.Frame, error) {
+			bodies := bg.Step()
+			if n >= enterAt && n < leaveAt {
+				bodies = append(bodies, target)
+			}
+			n++
+			return x.Capture(bodies), nil
+		})
+	}
+	srv, err := csinet.NewServer("127.0.0.1:0", hello, factory)
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+	go srv.Serve(context.Background()) //nolint:errcheck — ends on Close
+
+	// --- Client side: collector + detector ----------------------------
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	client, err := csinet.Dial(ctx, srv.Addr().String())
+	if err != nil {
+		return err
+	}
+	defer client.Close()
+
+	grid, err := channel.NewIntel5300Grid(client.Hello().CenterFreqHz)
+	if err != nil {
+		return err
+	}
+	cfg := core.DefaultConfig(grid, core.SchemeSubcarrierPath, s.Env.RX.Offsets())
+
+	fmt.Printf("monitoring %s over %s\n", s.Name, srv.Addr())
+	cal, err := client.RecvN(calPackets)
+	if err != nil {
+		return err
+	}
+	profile, err := core.Calibrate(cfg, cal[:150])
+	if err != nil {
+		return err
+	}
+	det, err := core.NewDetector(cfg, profile)
+	if err != nil {
+		return err
+	}
+	null, err := det.SelfScores(cal[150:], 25, 25)
+	if err != nil {
+		return err
+	}
+	threshold, err := det.CalibrateThreshold(null, 0.95, 1.8)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("calibrated threshold %.4f; person enters at packet %d, leaves at %d\n",
+		threshold, enterAt, leaveAt)
+
+	const window = 25
+	for start := calPackets; start+window <= totalPackets; start += window {
+		frames, err := client.RecvN(window)
+		if err != nil {
+			return err
+		}
+		dec, err := det.Detect(frames)
+		if err != nil {
+			return err
+		}
+		status := "clear  "
+		if dec.Present {
+			status = "PRESENT"
+		}
+		truth := "empty"
+		if start >= enterAt && start < leaveAt {
+			truth = "occupied"
+		}
+		fmt.Printf("packets %4d-%4d  [%s]  score %7.4f  (truth: %s)\n",
+			start, start+window-1, status, dec.Score, truth)
+	}
+	return nil
+}

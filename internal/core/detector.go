@@ -1,0 +1,436 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"mlink/internal/channel"
+	"mlink/internal/csi"
+	"mlink/internal/music"
+	"mlink/internal/sanitize"
+)
+
+// Scheme selects the detection variant evaluated in §V.
+type Scheme int
+
+// The three schemes compared throughout the paper's evaluation.
+const (
+	// SchemeBaseline scores the Euclidean distance of mean CSI amplitudes.
+	SchemeBaseline Scheme = iota + 1
+	// SchemeSubcarrier adds the Eq. 15 subcarrier weighting of RSS changes.
+	SchemeSubcarrier
+	// SchemeSubcarrierPath adds MUSIC path weighting on top (§IV-C).
+	SchemeSubcarrierPath
+)
+
+// String names the scheme as in the paper's figures.
+func (s Scheme) String() string {
+	switch s {
+	case SchemeBaseline:
+		return "baseline"
+	case SchemeSubcarrier:
+		return "subcarrier-weighting"
+	case SchemeSubcarrierPath:
+		return "subcarrier+path-weighting"
+	default:
+		return fmt.Sprintf("scheme(%d)", int(s))
+	}
+}
+
+// Config parameterizes calibration and detection.
+type Config struct {
+	// Grid is the OFDM subcarrier grid of the receiver.
+	Grid *channel.Grid
+	// Scheme selects the detector variant.
+	Scheme Scheme
+	// ArrayOffsets are the receive-array element offsets in metres
+	// (required for SchemeSubcarrierPath).
+	ArrayOffsets []float64
+	// NumSignals is the MUSIC source count (0 = auto; the paper uses the
+	// plain MUSIC algorithm able to separate 2 paths with 3 antennas).
+	NumSignals int
+	// PathWeight bounds and regularizes Eq. 17.
+	PathWeight PathWeightConfig
+	// SpectrumStepDeg is the pseudospectrum resolution (default 1°).
+	SpectrumStepDeg float64
+	// Sanitize enables phase calibration of every frame before processing
+	// (required for meaningful MUSIC on impaired CSI).
+	Sanitize bool
+	// UsePerPacketWeights switches Eq. 15 weighting to the simpler Eq. 12
+	// per-packet weighting (ablation).
+	UsePerPacketWeights bool
+}
+
+// DefaultConfig returns the paper's implementation parameters for a given
+// scheme.
+func DefaultConfig(grid *channel.Grid, scheme Scheme, arrayOffsets []float64) Config {
+	return Config{
+		Grid:            grid,
+		Scheme:          scheme,
+		ArrayOffsets:    arrayOffsets,
+		NumSignals:      2,
+		PathWeight:      DefaultPathWeightConfig(),
+		SpectrumStepDeg: 1,
+		Sanitize:        true,
+	}
+}
+
+func (c *Config) validate() error {
+	if c.Grid == nil || c.Grid.Len() == 0 {
+		return fmt.Errorf("config needs a grid: %w", ErrBadInput)
+	}
+	switch c.Scheme {
+	case SchemeBaseline, SchemeSubcarrier:
+	case SchemeSubcarrierPath:
+		if len(c.ArrayOffsets) < 2 {
+			return fmt.Errorf("path weighting needs ≥2 array offsets: %w", ErrBadInput)
+		}
+	default:
+		return fmt.Errorf("unknown scheme %d: %w", int(c.Scheme), ErrBadInput)
+	}
+	return nil
+}
+
+// wavelength returns the carrier wavelength of the grid centre.
+func (c *Config) wavelength() float64 {
+	return 299792458.0 / c.Grid.Center
+}
+
+// Profile is the calibration-stage output (§IV-C): the static fingerprint a
+// monitoring window is compared against.
+type Profile struct {
+	// MeanAmp is the mean linear CSI amplitude per [antenna][subcarrier]
+	// (the baseline's reference).
+	MeanAmp [][]float64
+	// MeanRSSdB is the mean per-subcarrier RSS in dB (Δs reference).
+	MeanRSSdB [][]float64
+	// StaticSpectrum is the unweighted MUSIC pseudospectrum of the empty
+	// room (Fig. 5b), nil for schemes that do not use the array.
+	StaticSpectrum *music.Spectrum
+	// PathWeights is the Eq. 17 weight vector aligned with StaticSpectrum.
+	PathWeights []float64
+	// Frames are the sanitized calibration frames, retained because the
+	// monitoring stage re-weights calibration data with monitor-derived
+	// subcarrier weights (§IV-C).
+	Frames []*csi.Frame
+}
+
+// Calibrate builds the static profile from no-presence frames.
+func Calibrate(cfg Config, frames []*csi.Frame) (*Profile, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if len(frames) == 0 {
+		return nil, fmt.Errorf("calibrate with no frames: %w", ErrBadInput)
+	}
+	prep, err := prepare(cfg, frames)
+	if err != nil {
+		return nil, fmt.Errorf("calibrate: %w", err)
+	}
+	nAnt := prep[0].NumAntennas()
+	nSub := prep[0].NumSubcarriers()
+
+	p := &Profile{
+		MeanAmp:   zeros2(nAnt, nSub),
+		MeanRSSdB: zeros2(nAnt, nSub),
+		Frames:    prep,
+	}
+	for _, f := range prep {
+		for ant := 0; ant < nAnt; ant++ {
+			rss := SubcarrierRSSdB(f.CSI[ant])
+			for k := 0; k < nSub; k++ {
+				re, im := real(f.CSI[ant][k]), imag(f.CSI[ant][k])
+				p.MeanAmp[ant][k] += math.Hypot(re, im)
+				p.MeanRSSdB[ant][k] += rss[k]
+			}
+		}
+	}
+	scale := 1 / float64(len(prep))
+	for ant := 0; ant < nAnt; ant++ {
+		for k := 0; k < nSub; k++ {
+			p.MeanAmp[ant][k] *= scale
+			p.MeanRSSdB[ant][k] *= scale
+		}
+	}
+
+	if cfg.Scheme == SchemeSubcarrierPath {
+		est, err := newEstimator(cfg)
+		if err != nil {
+			return nil, err
+		}
+		cov, err := music.Covariance(prep, nil)
+		if err != nil {
+			return nil, fmt.Errorf("static covariance: %w", err)
+		}
+		spec, err := est.Pseudospectrum(cov, cfg.NumSignals)
+		if err != nil {
+			return nil, fmt.Errorf("static pseudospectrum: %w", err)
+		}
+		p.StaticSpectrum = spec
+		p.PathWeights, err = PathWeights(spec, cfg.PathWeight)
+		if err != nil {
+			return nil, fmt.Errorf("path weights: %w", err)
+		}
+	}
+	return p, nil
+}
+
+// Detector scores monitoring windows against a calibration profile.
+type Detector struct {
+	cfg       Config
+	profile   *Profile
+	threshold float64
+}
+
+// NewDetector pairs a config with its calibration profile. The threshold
+// may be set later via SetThreshold or CalibrateThreshold.
+func NewDetector(cfg Config, profile *Profile) (*Detector, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if profile == nil || len(profile.Frames) == 0 {
+		return nil, fmt.Errorf("detector needs a calibration profile: %w", ErrBadInput)
+	}
+	if cfg.Scheme == SchemeSubcarrierPath && (profile.StaticSpectrum == nil || len(profile.PathWeights) == 0) {
+		return nil, fmt.Errorf("profile lacks static spectrum for path weighting: %w", ErrBadInput)
+	}
+	return &Detector{cfg: cfg, profile: profile}, nil
+}
+
+// Profile exposes the calibration profile (read-only by convention).
+func (d *Detector) Profile() *Profile { return d.profile }
+
+// Threshold returns the current decision threshold.
+func (d *Detector) Threshold() float64 { return d.threshold }
+
+// SetThreshold fixes the decision threshold.
+func (d *Detector) SetThreshold(t float64) { d.threshold = t }
+
+// Decision is a monitoring-window verdict.
+type Decision struct {
+	// Present is true when the score exceeds the threshold.
+	Present bool
+	// Score is the window's distance statistic.
+	Score float64
+	// Threshold is the threshold used for the verdict.
+	Threshold float64
+}
+
+// Detect scores a monitoring window and applies the threshold.
+func (d *Detector) Detect(window []*csi.Frame) (Decision, error) {
+	score, err := d.Score(window)
+	if err != nil {
+		return Decision{}, err
+	}
+	return Decision{Present: score > d.threshold, Score: score, Threshold: d.threshold}, nil
+}
+
+// Score computes the scheme's distance statistic for a window of M frames
+// (§IV-C monitoring stage).
+func (d *Detector) Score(window []*csi.Frame) (float64, error) {
+	if len(window) == 0 {
+		return 0, fmt.Errorf("empty monitoring window: %w", ErrBadInput)
+	}
+	prep, err := prepare(d.cfg, window)
+	if err != nil {
+		return 0, fmt.Errorf("score: %w", err)
+	}
+	if prep[0].NumAntennas() != len(d.profile.MeanAmp) || prep[0].NumSubcarriers() != len(d.profile.MeanAmp[0]) {
+		return 0, fmt.Errorf("window shape %dx%d differs from profile %dx%d: %w",
+			prep[0].NumAntennas(), prep[0].NumSubcarriers(),
+			len(d.profile.MeanAmp), len(d.profile.MeanAmp[0]), ErrBadInput)
+	}
+	switch d.cfg.Scheme {
+	case SchemeBaseline:
+		return d.scoreBaseline(prep)
+	case SchemeSubcarrier:
+		return d.scoreSubcarrier(prep)
+	case SchemeSubcarrierPath:
+		return d.scoreSubcarrierPath(prep)
+	default:
+		return 0, fmt.Errorf("unknown scheme: %w", ErrBadInput)
+	}
+}
+
+// scoreBaseline: normalized Euclidean distance of mean CSI amplitudes,
+// averaged across antennas.
+func (d *Detector) scoreBaseline(window []*csi.Frame) (float64, error) {
+	nAnt := window[0].NumAntennas()
+	nSub := window[0].NumSubcarriers()
+	var total float64
+	for ant := 0; ant < nAnt; ant++ {
+		mean := make([]float64, nSub)
+		for _, f := range window {
+			for k := 0; k < nSub; k++ {
+				re, im := real(f.CSI[ant][k]), imag(f.CSI[ant][k])
+				mean[k] += math.Hypot(re, im)
+			}
+		}
+		var dist, ref float64
+		for k := 0; k < nSub; k++ {
+			mean[k] /= float64(len(window))
+			diff := mean[k] - d.profile.MeanAmp[ant][k]
+			dist += diff * diff
+			ref += d.profile.MeanAmp[ant][k] * d.profile.MeanAmp[ant][k]
+		}
+		if ref > 0 {
+			total += math.Sqrt(dist / ref)
+		}
+	}
+	return total / float64(nAnt), nil
+}
+
+// windowWeights derives the subcarrier weights from the monitoring window's
+// multipath factors, per antenna.
+func (d *Detector) windowWeights(window []*csi.Frame) ([][]float64, error) {
+	nAnt := window[0].NumAntennas()
+	perAnt := make([][]float64, nAnt)
+	for ant := 0; ant < nAnt; ant++ {
+		mus := make([][]float64, 0, len(window))
+		for _, f := range window {
+			mu, err := MultipathFactors(f.CSI[ant], d.cfg.Grid)
+			if err != nil {
+				return nil, err
+			}
+			mus = append(mus, mu)
+		}
+		if d.cfg.UsePerPacketWeights {
+			// Eq. 12 ablation: average the per-packet weights.
+			acc := make([]float64, len(mus[0]))
+			for _, mu := range mus {
+				w, err := PerPacketWeights(mu)
+				if err != nil {
+					return nil, err
+				}
+				for i, v := range w {
+					acc[i] += v / float64(len(mus))
+				}
+			}
+			perAnt[ant] = acc
+			continue
+		}
+		sw, err := ComputeSubcarrierWeights(mus)
+		if err != nil {
+			return nil, err
+		}
+		perAnt[ant] = sw.Weights
+	}
+	return perAnt, nil
+}
+
+// scoreSubcarrier: Euclidean norm of the Eq. 15 weighted RSS changes,
+// averaged across antennas.
+func (d *Detector) scoreSubcarrier(window []*csi.Frame) (float64, error) {
+	weights, err := d.windowWeights(window)
+	if err != nil {
+		return 0, err
+	}
+	nAnt := window[0].NumAntennas()
+	nSub := window[0].NumSubcarriers()
+	var total float64
+	for ant := 0; ant < nAnt; ant++ {
+		meanRSS := make([]float64, nSub)
+		for _, f := range window {
+			rss := SubcarrierRSSdB(f.CSI[ant])
+			for k := 0; k < nSub; k++ {
+				meanRSS[k] += rss[k]
+			}
+		}
+		var dist, wNorm float64
+		for k := 0; k < nSub; k++ {
+			meanRSS[k] /= float64(len(window))
+			delta := meanRSS[k] - d.profile.MeanRSSdB[ant][k]
+			wd := weights[ant][k] * delta
+			dist += wd * wd
+			wNorm += weights[ant][k] * weights[ant][k]
+		}
+		if wNorm > 0 {
+			// Normalize by the weight norm: the score becomes a weighted
+			// RMS Δs in dB, comparable across links whose multipath-factor
+			// scales differ (the paper applies one threshold to all cases).
+			total += math.Sqrt(dist / wNorm)
+		}
+	}
+	return total / float64(nAnt), nil
+}
+
+// scoreSubcarrierPath: path-weighted distance between the subcarrier-
+// weighted monitoring and calibration angular power spectra (§IV-C). The
+// decision statistic runs on the Bartlett spectrum in dB — it carries the
+// per-direction received power, so on-path attenuation and off-path echoes
+// both register — while the Eq. 17 path weights, derived from the static
+// MUSIC pseudospectrum at calibration, amplify the NLOS directions.
+func (d *Detector) scoreSubcarrierPath(window []*csi.Frame) (float64, error) {
+	perAnt, err := d.windowWeights(window)
+	if err != nil {
+		return 0, err
+	}
+	w, err := AverageWeightVectors(perAnt)
+	if err != nil {
+		return 0, err
+	}
+	est, err := newEstimator(d.cfg)
+	if err != nil {
+		return 0, err
+	}
+	monCov, err := music.Covariance(window, w)
+	if err != nil {
+		return 0, fmt.Errorf("monitor covariance: %w", err)
+	}
+	monSpec, err := est.Bartlett(monCov)
+	if err != nil {
+		return 0, fmt.Errorf("monitor spectrum: %w", err)
+	}
+	calCov, err := music.Covariance(d.profile.Frames, w)
+	if err != nil {
+		return 0, fmt.Errorf("calibration covariance: %w", err)
+	}
+	calSpec, err := est.Bartlett(calCov)
+	if err != nil {
+		return 0, fmt.Errorf("calibration spectrum: %w", err)
+	}
+	return WeightedSpectrumDistance(toDB(monSpec), toDB(calSpec), d.profile.PathWeights)
+}
+
+// toDB converts a power spectrum to decibels (floored well below any
+// physical level to keep the distance finite).
+func toDB(s *music.Spectrum) *music.Spectrum {
+	out := &music.Spectrum{
+		AnglesDeg: append([]float64(nil), s.AnglesDeg...),
+		Power:     make([]float64, len(s.Power)),
+	}
+	for i, p := range s.Power {
+		if p < 1e-30 {
+			p = 1e-30
+		}
+		out.Power[i] = 10 * math.Log10(p)
+	}
+	return out
+}
+
+// prepare optionally sanitizes frames per the config.
+func prepare(cfg Config, frames []*csi.Frame) ([]*csi.Frame, error) {
+	if !cfg.Sanitize {
+		return frames, nil
+	}
+	return sanitize.Frames(frames, cfg.Grid.Indices)
+}
+
+func newEstimator(cfg Config) (*music.Estimator, error) {
+	est, err := music.NewEstimator(cfg.ArrayOffsets, cfg.wavelength())
+	if err != nil {
+		return nil, fmt.Errorf("estimator: %w", err)
+	}
+	if cfg.SpectrumStepDeg > 0 {
+		est.StepDeg = cfg.SpectrumStepDeg
+	}
+	return est, nil
+}
+
+func zeros2(rows, cols int) [][]float64 {
+	out := make([][]float64, rows)
+	for i := range out {
+		out[i] = make([]float64, cols)
+	}
+	return out
+}

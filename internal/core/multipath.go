@@ -1,0 +1,146 @@
+// Package core implements the paper's contribution: the multipath factor
+// (Eq. 3, 9–11), the subcarrier weighting scheme (Eq. 12–15), the MUSIC
+// path weighting scheme (Eq. 17), and the calibration/monitoring detector
+// of §IV-C with its three variants (baseline, +subcarrier weighting,
+// +subcarrier and path weighting).
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"mlink/internal/channel"
+	"mlink/internal/csi"
+	"mlink/internal/dsp"
+)
+
+// ErrBadInput reports invalid detector or metric input.
+var ErrBadInput = errors.New("core: bad input")
+
+// MultipathFactors computes the per-subcarrier multipath factor μk (Eq. 11)
+// for one antenna's CSI row from a single packet:
+//
+//	μk = PL(fk) / |H(fk)|²,   PL(fk) = (fk⁻² / Σᵢ fᵢ⁻²) · Pdom
+//
+// where Pdom is the band-total power of the dominant propagation path,
+// approximated (per the paper, following [11][21]) by the strongest tap of
+// the inverse DFT of the CSI vector. The non-uniform Intel 5300 subcarrier
+// indices are first resampled onto a uniform grid so the IDFT is valid.
+//
+// μk ≈ 1 means the subcarrier is dominated by the strongest (usually LOS)
+// path; μk > 1 flags destructive multipath superposition — the sensitive
+// regime the weighting scheme exploits.
+func MultipathFactors(row []complex128, grid *channel.Grid) ([]float64, error) {
+	if grid == nil || grid.Len() == 0 {
+		return nil, fmt.Errorf("empty grid: %w", ErrBadInput)
+	}
+	if len(row) != grid.Len() {
+		return nil, fmt.Errorf("%d subcarriers for grid of %d: %w", len(row), grid.Len(), ErrBadInput)
+	}
+	n := len(row)
+
+	// Resample onto a uniform index grid (the 5300 indices skip pilots).
+	xs := make([]float64, n)
+	for i, idx := range grid.Indices {
+		xs[i] = float64(idx)
+	}
+	targets := make([]float64, n)
+	span := xs[n-1] - xs[0]
+	for i := range targets {
+		targets[i] = xs[0] + span*float64(i)/float64(n-1)
+	}
+	uniform, err := dsp.InterpolateComplex(xs, row, targets)
+	if err != nil {
+		return nil, fmt.Errorf("resample: %w", err)
+	}
+
+	// Dominant-path power: the paper approximates it by "the power of the
+	// dominant paths across all subcarriers |ĥ(0)|²" (plural — the leading
+	// delay cluster). A physical path delay rarely falls exactly on a tap
+	// centre, so its energy leaks into adjacent taps; summing the dominant
+	// tap with its two cyclic neighbours recovers the cluster power. IDFT
+	// carries a 1/N scale, so the band-total power of a flat single-path
+	// channel is N·Σ|tap|².
+	taps := dsp.IDFT(uniform)
+	powers := make([]float64, n)
+	best := 0
+	for i, tap := range taps {
+		re, im := real(tap), imag(tap)
+		powers[i] = re*re + im*im
+		if powers[i] > powers[best] {
+			best = i
+		}
+	}
+	cluster := powers[best]
+	if n > 1 {
+		cluster += powers[(best+1)%n] + powers[(best-1+n)%n]
+	}
+	pDom := float64(n) * cluster
+
+	// Frequency-dependent split of the dominant-path power (Eq. 10).
+	freqs := grid.Frequencies()
+	var invSq float64
+	for _, f := range freqs {
+		invSq += 1 / (f * f)
+	}
+	if invSq <= 0 {
+		return nil, fmt.Errorf("degenerate frequency grid: %w", ErrBadInput)
+	}
+
+	mu := make([]float64, n)
+	for k, v := range row {
+		re, im := real(v), imag(v)
+		p := re*re + im*im
+		if p <= 0 {
+			mu[k] = 0
+			continue
+		}
+		pl := (1 / (freqs[k] * freqs[k])) / invSq * pDom
+		mu[k] = pl / p
+	}
+	return mu, nil
+}
+
+// FrameMultipathFactors computes μ for every antenna of a frame, returning
+// [antenna][subcarrier].
+func FrameMultipathFactors(f *csi.Frame, grid *channel.Grid) ([][]float64, error) {
+	if err := f.Validate(); err != nil {
+		return nil, fmt.Errorf("multipath factors: %w", err)
+	}
+	out := make([][]float64, f.NumAntennas())
+	for ant := range f.CSI {
+		mu, err := MultipathFactors(f.CSI[ant], grid)
+		if err != nil {
+			return nil, fmt.Errorf("antenna %d: %w", ant, err)
+		}
+		out[ant] = mu
+	}
+	return out, nil
+}
+
+// MeanMultipathFactor returns the mean of μ across subcarriers — a scalar
+// link-quality indicator used by the deployment-assessment example.
+func MeanMultipathFactor(mu []float64) (float64, error) {
+	m, err := dsp.Mean(mu)
+	if err != nil {
+		return 0, fmt.Errorf("mean multipath factor: %w", err)
+	}
+	return m, nil
+}
+
+// SubcarrierRSSdB returns the per-subcarrier received signal strength in dB
+// (10·log10|H|²) for one antenna — the s(fk) quantity of §III.
+func SubcarrierRSSdB(row []complex128) []float64 {
+	out := make([]float64, len(row))
+	for k, v := range row {
+		re, im := real(v), imag(v)
+		p := re*re + im*im
+		if p <= 0 {
+			out[k] = math.Inf(-1)
+			continue
+		}
+		out[k] = 10 * math.Log10(p)
+	}
+	return out
+}

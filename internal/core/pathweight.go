@@ -1,0 +1,85 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"mlink/internal/music"
+)
+
+// PathWeightConfig bounds the angular region Eq. 17 enhances. Outside
+// (MinDeg, MaxDeg) the weight is zero, because linear arrays estimate large
+// angles unreliably (§IV-B2).
+type PathWeightConfig struct {
+	MinDeg, MaxDeg float64
+	// FloorRatio clamps the pseudospectrum at FloorRatio·max(Ps) before
+	// inversion so angles where essentially no energy ever arrives cannot
+	// produce unbounded weights. The paper leaves this implicit; 1e-3
+	// reproduces its behaviour while keeping the metric numerically sane.
+	FloorRatio float64
+}
+
+// DefaultPathWeightConfig matches the paper's implementation choices
+// (θmin = -60°, θmax = 60°).
+func DefaultPathWeightConfig() PathWeightConfig {
+	return PathWeightConfig{MinDeg: -60, MaxDeg: 60, FloorRatio: 1e-3}
+}
+
+// PathWeights implements Eq. 17: w(θ) = 1/Ps(θ) for θ ∈ (θmin, θmax), else
+// 0, computed from the static (no-presence) pseudospectrum measured during
+// calibration. The returned slice is aligned with static.AnglesDeg.
+func PathWeights(static *music.Spectrum, cfg PathWeightConfig) ([]float64, error) {
+	if static == nil || len(static.Power) == 0 {
+		return nil, fmt.Errorf("empty static spectrum: %w", ErrBadInput)
+	}
+	if len(static.Power) != len(static.AnglesDeg) {
+		return nil, fmt.Errorf("spectrum angles/power length mismatch: %w", ErrBadInput)
+	}
+	if cfg.MinDeg >= cfg.MaxDeg {
+		return nil, fmt.Errorf("angular clamp [%v, %v]: %w", cfg.MinDeg, cfg.MaxDeg, ErrBadInput)
+	}
+	norm := static.Normalized()
+	floor := cfg.FloorRatio
+	if floor <= 0 {
+		floor = 1e-6
+	}
+	out := make([]float64, len(norm.Power))
+	for i, p := range norm.Power {
+		theta := norm.AnglesDeg[i]
+		if theta <= cfg.MinDeg || theta >= cfg.MaxDeg {
+			continue
+		}
+		if p < floor {
+			p = floor
+		}
+		out[i] = 1 / p
+	}
+	return out, nil
+}
+
+// WeightedSpectrumDistance computes the path-weighted Euclidean distance
+// between two normalized pseudospectra (the §IV-C decision statistic):
+//
+//	score = √( Σθ w(θ)·(Pm(θ) - Pc(θ))² / Σθ w(θ) )
+//
+// The weight normalization keeps scores comparable across links with
+// different static spectra.
+func WeightedSpectrumDistance(mon, cal *music.Spectrum, weights []float64) (float64, error) {
+	if mon == nil || cal == nil {
+		return 0, fmt.Errorf("nil spectrum: %w", ErrBadInput)
+	}
+	n := len(mon.Power)
+	if n == 0 || len(cal.Power) != n || len(weights) != n {
+		return 0, fmt.Errorf("spectrum/weight lengths %d/%d/%d: %w", n, len(cal.Power), len(weights), ErrBadInput)
+	}
+	var num, den float64
+	for i := 0; i < n; i++ {
+		d := mon.Power[i] - cal.Power[i]
+		num += weights[i] * d * d
+		den += weights[i]
+	}
+	if den == 0 {
+		return 0, fmt.Errorf("all-zero path weights: %w", ErrBadInput)
+	}
+	return math.Sqrt(num / den), nil
+}

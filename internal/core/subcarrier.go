@@ -1,0 +1,130 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"mlink/internal/dsp"
+)
+
+// SubcarrierWeights holds the frequency-diversity weighting state of
+// §IV-A2, computed over a window of M packets.
+type SubcarrierWeights struct {
+	// MeanMu is μ̄k, the temporal mean of the multipath factor per
+	// subcarrier (average detection sensitivity).
+	MeanMu []float64
+	// StabilityRatio is rk (Eq. 13–14): the fraction of packets in which μk
+	// exceeded that packet's cross-subcarrier median — consistently
+	// sensitive subcarriers score high.
+	StabilityRatio []float64
+	// Weights is the combined normalized weight of Eq. 15:
+	// |μ̄k·rk / (Σμ̄ · Σr)|.
+	Weights []float64
+}
+
+// ComputeSubcarrierWeights derives Eq. 15 weights from a window of
+// multipath-factor measurements mus[m][k] (packet m, subcarrier k).
+func ComputeSubcarrierWeights(mus [][]float64) (*SubcarrierWeights, error) {
+	if len(mus) == 0 {
+		return nil, fmt.Errorf("no packets: %w", ErrBadInput)
+	}
+	k := len(mus[0])
+	if k == 0 {
+		return nil, fmt.Errorf("no subcarriers: %w", ErrBadInput)
+	}
+	meanMu := make([]float64, k)
+	ratio := make([]float64, k)
+	for m, mu := range mus {
+		if len(mu) != k {
+			return nil, fmt.Errorf("packet %d has %d subcarriers, want %d: %w", m, len(mu), k, ErrBadInput)
+		}
+		med, err := dsp.Median(mu)
+		if err != nil {
+			return nil, fmt.Errorf("packet %d median: %w", m, err)
+		}
+		for i, v := range mu {
+			meanMu[i] += v
+			if v > med {
+				ratio[i]++
+			}
+		}
+	}
+	mf := float64(len(mus))
+	var sumMu, sumR float64
+	for i := range meanMu {
+		meanMu[i] /= mf
+		ratio[i] /= mf
+		sumMu += meanMu[i]
+		sumR += ratio[i]
+	}
+	w := make([]float64, k)
+	if sumMu > 0 && sumR > 0 {
+		for i := range w {
+			w[i] = math.Abs(meanMu[i] * ratio[i] / (sumMu * sumR))
+		}
+	} else if sumMu > 0 {
+		// Degenerate window (e.g. a single packet where no subcarrier ever
+		// exceeds the median of an all-equal μ vector): fall back to the
+		// per-packet Eq. 12 weighting.
+		for i := range w {
+			w[i] = math.Abs(meanMu[i] / sumMu)
+		}
+	}
+	return &SubcarrierWeights{MeanMu: meanMu, StabilityRatio: ratio, Weights: w}, nil
+}
+
+// PerPacketWeights implements the simpler Eq. 12 weighting from a single
+// packet's multipath factors: wk = |μk / Σμ|. Used as an ablation of the
+// stability ratio.
+func PerPacketWeights(mu []float64) ([]float64, error) {
+	if len(mu) == 0 {
+		return nil, fmt.Errorf("no subcarriers: %w", ErrBadInput)
+	}
+	var sum float64
+	for _, v := range mu {
+		sum += v
+	}
+	out := make([]float64, len(mu))
+	if sum == 0 {
+		return out, nil
+	}
+	for i, v := range mu {
+		out[i] = math.Abs(v / sum)
+	}
+	return out, nil
+}
+
+// ApplyWeights returns the element-wise weighted copy w∘Δs (Eq. 12/15
+// application to a vector of RSS changes).
+func ApplyWeights(weights, deltas []float64) ([]float64, error) {
+	if len(weights) != len(deltas) {
+		return nil, fmt.Errorf("%d weights for %d deltas: %w", len(weights), len(deltas), ErrBadInput)
+	}
+	out := make([]float64, len(deltas))
+	for i := range deltas {
+		out[i] = weights[i] * deltas[i]
+	}
+	return out, nil
+}
+
+// AverageWeightVectors averages per-antenna weight vectors into a single
+// vector (used when one weight set must drive the array covariance).
+func AverageWeightVectors(vectors [][]float64) ([]float64, error) {
+	if len(vectors) == 0 {
+		return nil, fmt.Errorf("no vectors: %w", ErrBadInput)
+	}
+	n := len(vectors[0])
+	out := make([]float64, n)
+	for vi, v := range vectors {
+		if len(v) != n {
+			return nil, fmt.Errorf("vector %d length %d, want %d: %w", vi, len(v), n, ErrBadInput)
+		}
+		for i, x := range v {
+			out[i] += x
+		}
+	}
+	for i := range out {
+		out[i] /= float64(len(vectors))
+	}
+	return out, nil
+}

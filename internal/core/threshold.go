@@ -1,0 +1,56 @@
+package core
+
+import (
+	"fmt"
+
+	"mlink/internal/csi"
+	"mlink/internal/dsp"
+)
+
+// SelfScores slides a window of the given size (with the given stride) over
+// held-out no-presence frames and returns the detector's score for each
+// window — the empirical null distribution the threshold is calibrated
+// from ("determined by the variations of the static profile", §IV-C).
+func (d *Detector) SelfScores(frames []*csi.Frame, windowSize, stride int) ([]float64, error) {
+	if windowSize <= 0 {
+		return nil, fmt.Errorf("window size %d: %w", windowSize, ErrBadInput)
+	}
+	if stride <= 0 {
+		stride = windowSize
+	}
+	if len(frames) < windowSize {
+		return nil, fmt.Errorf("%d frames for window %d: %w", len(frames), windowSize, ErrBadInput)
+	}
+	var scores []float64
+	for start := 0; start+windowSize <= len(frames); start += stride {
+		s, err := d.Score(frames[start : start+windowSize])
+		if err != nil {
+			return nil, fmt.Errorf("self score at %d: %w", start, err)
+		}
+		scores = append(scores, s)
+	}
+	return scores, nil
+}
+
+// CalibrateThreshold sets the decision threshold to the q-quantile of the
+// null scores inflated by margin (q close to 1 bounds the false-positive
+// rate; margin adds headroom for unseen dynamics). It returns the chosen
+// threshold.
+func (d *Detector) CalibrateThreshold(nullScores []float64, q, margin float64) (float64, error) {
+	if len(nullScores) == 0 {
+		return 0, fmt.Errorf("no null scores: %w", ErrBadInput)
+	}
+	if q <= 0 || q > 1 {
+		return 0, fmt.Errorf("quantile %v: %w", q, ErrBadInput)
+	}
+	if margin <= 0 {
+		margin = 1
+	}
+	cdf, err := dsp.NewCDF(nullScores)
+	if err != nil {
+		return 0, fmt.Errorf("threshold: %w", err)
+	}
+	t := cdf.Quantile(q) * margin
+	d.threshold = t
+	return t, nil
+}

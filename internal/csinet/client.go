@@ -1,0 +1,98 @@
+package csinet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+
+	"mlink/internal/csi"
+	"time"
+)
+
+// Client collects CSI frames from a csinet server — the detector side of
+// the distributed deployment.
+type Client struct {
+	conn  net.Conn
+	hello Hello
+}
+
+// Dial connects to a csinet server and consumes the opening Hello. The
+// context bounds connection establishment and the Hello exchange.
+func Dial(ctx context.Context, addr string) (*Client, error) {
+	var d net.Dialer
+	conn, err := d.DialContext(ctx, "tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("dial %s: %w", addr, err)
+	}
+	if deadline, ok := ctx.Deadline(); ok {
+		_ = conn.SetReadDeadline(deadline)
+	}
+	msgType, payload, err := ReadMessage(conn)
+	if err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("hello: %w", err)
+	}
+	if msgType != TypeHello {
+		conn.Close()
+		return nil, fmt.Errorf("first message type %d: %w", msgType, ErrMalformed)
+	}
+	hello, err := DecodeHello(payload)
+	if err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("hello: %w", err)
+	}
+	_ = conn.SetReadDeadline(time.Time{})
+	return &Client{conn: conn, hello: hello}, nil
+}
+
+// Hello returns the stream metadata announced by the server.
+func (c *Client) Hello() Hello { return c.hello }
+
+// Recv blocks for the next CSI frame. Heartbeats are consumed silently; a
+// closed stream surfaces as io.EOF.
+func (c *Client) Recv() (*csi.Frame, error) {
+	for {
+		msgType, payload, err := ReadMessage(c.conn)
+		if err != nil {
+			if errors.Is(err, io.EOF) || errors.Is(err, net.ErrClosed) || errors.Is(err, io.ErrUnexpectedEOF) {
+				return nil, io.EOF
+			}
+			return nil, err
+		}
+		switch msgType {
+		case TypeFrame:
+			f, err := DecodeFrame(payload)
+			if err != nil {
+				return nil, err
+			}
+			return f, nil
+		case TypeHeartbeat:
+			continue
+		default:
+			return nil, fmt.Errorf("unexpected message type %d mid-stream: %w", msgType, ErrMalformed)
+		}
+	}
+}
+
+// RecvN collects exactly n frames (or fails).
+func (c *Client) RecvN(n int) ([]*csi.Frame, error) {
+	out := make([]*csi.Frame, 0, n)
+	for len(out) < n {
+		f, err := c.Recv()
+		if err != nil {
+			return nil, fmt.Errorf("recv %d/%d: %w", len(out), n, err)
+		}
+		out = append(out, f)
+	}
+	return out, nil
+}
+
+// SetRecvDeadline bounds the next Recv calls.
+func (c *Client) SetRecvDeadline(t time.Time) error {
+	return c.conn.SetReadDeadline(t)
+}
+
+// Close terminates the connection.
+func (c *Client) Close() error { return c.conn.Close() }

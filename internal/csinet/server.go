@@ -1,0 +1,168 @@
+package csinet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"mlink/internal/csi"
+)
+
+// Source produces the CSI frames a stream serves. Next returns io.EOF to
+// end the stream cleanly.
+type Source interface {
+	Next() (*csi.Frame, error)
+}
+
+// SourceFunc adapts a function to the Source interface.
+type SourceFunc func() (*csi.Frame, error)
+
+// Next calls the function.
+func (f SourceFunc) Next() (*csi.Frame, error) { return f() }
+
+// Server streams CSI frames to TCP clients — the emulated receiver-NIC
+// daemon. Every accepted connection gets its own Source from the factory,
+// so concurrent clients receive independent streams.
+type Server struct {
+	hello   Hello
+	factory func() Source
+	// Interval paces frame delivery (0 = as fast as the source produces;
+	// 20 ms reproduces the paper's 50 packets/s).
+	Interval time.Duration
+
+	lis    net.Listener
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	wg     sync.WaitGroup
+	closed bool
+}
+
+// NewServer listens on addr (e.g. "127.0.0.1:0") and serves a fresh Source
+// per connection. Call Serve to accept clients and Close to shut down.
+func NewServer(addr string, hello Hello, factory func() Source) (*Server, error) {
+	if factory == nil {
+		return nil, errors.New("csinet: nil source factory")
+	}
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("listen %s: %w", addr, err)
+	}
+	return &Server{
+		hello:   hello,
+		factory: factory,
+		lis:     lis,
+		conns:   make(map[net.Conn]struct{}),
+	}, nil
+}
+
+// Addr returns the bound listen address.
+func (s *Server) Addr() net.Addr { return s.lis.Addr() }
+
+// Serve accepts connections until ctx is cancelled or Close is called. It
+// always returns a non-nil error (net.ErrClosed on clean shutdown).
+func (s *Server) Serve(ctx context.Context) error {
+	done := make(chan struct{})
+	defer close(done)
+	go func() {
+		select {
+		case <-ctx.Done():
+			s.lis.Close()
+		case <-done:
+		}
+	}()
+	for {
+		conn, err := s.lis.Accept()
+		if err != nil {
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			return err
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return net.ErrClosed
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			defer func() {
+				s.mu.Lock()
+				delete(s.conns, conn)
+				s.mu.Unlock()
+				conn.Close()
+			}()
+			s.stream(ctx, conn)
+		}()
+	}
+}
+
+// stream serves one client until the source ends, the client leaves, or the
+// context is cancelled.
+func (s *Server) stream(ctx context.Context, conn net.Conn) {
+	hello, err := EncodeHello(s.hello)
+	if err != nil {
+		return
+	}
+	if err := WriteMessage(conn, TypeHello, hello); err != nil {
+		return
+	}
+	src := s.factory()
+	var ticker *time.Ticker
+	if s.Interval > 0 {
+		ticker = time.NewTicker(s.Interval)
+		defer ticker.Stop()
+	}
+	for {
+		if ctx.Err() != nil {
+			return
+		}
+		frame, err := src.Next()
+		if err != nil {
+			// Clean end of stream: tell the client via heartbeat-then-close.
+			if errors.Is(err, io.EOF) {
+				_ = WriteMessage(conn, TypeHeartbeat, nil)
+			}
+			return
+		}
+		payload, err := EncodeFrame(frame)
+		if err != nil {
+			return
+		}
+		if err := WriteMessage(conn, TypeFrame, payload); err != nil {
+			return
+		}
+		if ticker != nil {
+			select {
+			case <-ticker.C:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}
+}
+
+// Close stops accepting, closes every live connection and waits for the
+// stream goroutines to exit.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	err := s.lis.Close()
+	s.wg.Wait()
+	return err
+}

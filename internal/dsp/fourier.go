@@ -1,0 +1,128 @@
+package dsp
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+)
+
+// DFT computes the discrete Fourier transform of x (O(n²), fine for the
+// 30-subcarrier vectors this repository transforms).
+//
+//	X[k] = Σ_n x[n]·e^{-j2πkn/N}
+func DFT(x []complex128) []complex128 {
+	n := len(x)
+	out := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		var sum complex128
+		for t := 0; t < n; t++ {
+			angle := -2 * math.Pi * float64(k) * float64(t) / float64(n)
+			sum += x[t] * cmplx.Exp(complex(0, angle))
+		}
+		out[k] = sum
+	}
+	return out
+}
+
+// IDFT computes the inverse discrete Fourier transform with 1/N scaling so
+// that IDFT(DFT(x)) == x.
+func IDFT(x []complex128) []complex128 {
+	n := len(x)
+	out := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		var sum complex128
+		for t := 0; t < n; t++ {
+			angle := 2 * math.Pi * float64(k) * float64(t) / float64(n)
+			sum += x[t] * cmplx.Exp(complex(0, angle))
+		}
+		out[k] = sum / complex(float64(n), 0)
+	}
+	return out
+}
+
+// Unwrap removes 2π discontinuities from a phase sequence in place-order
+// (the input is not modified; a corrected copy is returned).
+func Unwrap(phase []float64) []float64 {
+	out := append([]float64(nil), phase...)
+	for i := 1; i < len(out); i++ {
+		d := out[i] - out[i-1]
+		for d > math.Pi {
+			out[i] -= 2 * math.Pi
+			d = out[i] - out[i-1]
+		}
+		for d < -math.Pi {
+			out[i] += 2 * math.Pi
+			d = out[i] - out[i-1]
+		}
+	}
+	return out
+}
+
+// InterpolateComplex linearly resamples samples located at xs (strictly
+// increasing) onto targets. Targets outside [xs[0], xs[last]] are clamped to
+// the boundary values.
+func InterpolateComplex(xs []float64, ys []complex128, targets []float64) ([]complex128, error) {
+	if len(xs) != len(ys) {
+		return nil, fmt.Errorf("interpolate: %d xs vs %d ys", len(xs), len(ys))
+	}
+	if len(xs) == 0 {
+		return nil, fmt.Errorf("interpolate: %w", ErrEmptyInput)
+	}
+	for i := 1; i < len(xs); i++ {
+		if xs[i] <= xs[i-1] {
+			return nil, fmt.Errorf("interpolate: xs not strictly increasing at %d", i)
+		}
+	}
+	out := make([]complex128, len(targets))
+	for i, t := range targets {
+		switch {
+		case t <= xs[0]:
+			out[i] = ys[0]
+		case t >= xs[len(xs)-1]:
+			out[i] = ys[len(ys)-1]
+		default:
+			// Binary search for the surrounding knots.
+			lo, hi := 0, len(xs)-1
+			for hi-lo > 1 {
+				mid := (lo + hi) / 2
+				if xs[mid] <= t {
+					lo = mid
+				} else {
+					hi = mid
+				}
+			}
+			frac := (t - xs[lo]) / (xs[hi] - xs[lo])
+			out[i] = ys[lo]*complex(1-frac, 0) + ys[hi]*complex(frac, 0)
+		}
+	}
+	return out, nil
+}
+
+// MovingAverage smooths xs with a centered window of the given odd width.
+// Edges use the available partial window.
+func MovingAverage(xs []float64, width int) []float64 {
+	if width < 1 {
+		width = 1
+	}
+	if width%2 == 0 {
+		width++
+	}
+	half := width / 2
+	out := make([]float64, len(xs))
+	for i := range xs {
+		lo := i - half
+		if lo < 0 {
+			lo = 0
+		}
+		hi := i + half
+		if hi > len(xs)-1 {
+			hi = len(xs) - 1
+		}
+		var sum float64
+		for j := lo; j <= hi; j++ {
+			sum += xs[j]
+		}
+		out[i] = sum / float64(hi-lo+1)
+	}
+	return out
+}

@@ -1,0 +1,176 @@
+// Package dsp provides the scalar signal-processing toolbox used across the
+// repository: descriptive statistics, empirical CDFs, discrete Fourier
+// transforms, phase unwrapping, and least-squares fits (linear and
+// logarithmic). Everything operates on plain float64/complex128 slices.
+package dsp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// ErrEmptyInput is returned by statistics that are undefined on empty data.
+var ErrEmptyInput = errors.New("dsp: empty input")
+
+// Mean returns the arithmetic mean of xs.
+func Mean(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, fmt.Errorf("mean: %w", ErrEmptyInput)
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs)), nil
+}
+
+// Variance returns the population variance of xs.
+func Variance(xs []float64) (float64, error) {
+	m, err := Mean(xs)
+	if err != nil {
+		return 0, fmt.Errorf("variance: %w", err)
+	}
+	var sum float64
+	for _, x := range xs {
+		d := x - m
+		sum += d * d
+	}
+	return sum / float64(len(xs)), nil
+}
+
+// StdDev returns the population standard deviation of xs.
+func StdDev(xs []float64) (float64, error) {
+	v, err := Variance(xs)
+	if err != nil {
+		return 0, err
+	}
+	return math.Sqrt(v), nil
+}
+
+// Median returns the median of xs (average of the two central elements for
+// even lengths).
+func Median(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, fmt.Errorf("median: %w", ErrEmptyInput)
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2], nil
+	}
+	return (s[n/2-1] + s[n/2]) / 2, nil
+}
+
+// Percentile returns the p-th percentile (0 ≤ p ≤ 100) of xs using linear
+// interpolation between closest ranks.
+func Percentile(xs []float64, p float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, fmt.Errorf("percentile: %w", ErrEmptyInput)
+	}
+	if p < 0 || p > 100 {
+		return 0, fmt.Errorf("percentile %v out of [0,100]", p)
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if len(s) == 1 {
+		return s[0], nil
+	}
+	rank := p / 100 * float64(len(s)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return s[lo], nil
+	}
+	frac := rank - float64(lo)
+	return s[lo]*(1-frac) + s[hi]*frac, nil
+}
+
+// MinMax returns the minimum and maximum of xs.
+func MinMax(xs []float64) (lo, hi float64, err error) {
+	if len(xs) == 0 {
+		return 0, 0, fmt.Errorf("minmax: %w", ErrEmptyInput)
+	}
+	lo, hi = xs[0], xs[0]
+	for _, x := range xs[1:] {
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	return lo, hi, nil
+}
+
+// ArgMax returns the index of the largest element of xs.
+func ArgMax(xs []float64) (int, error) {
+	if len(xs) == 0 {
+		return 0, fmt.Errorf("argmax: %w", ErrEmptyInput)
+	}
+	best := 0
+	for i, x := range xs {
+		if x > xs[best] {
+			best = i
+		}
+	}
+	return best, nil
+}
+
+// CDF is an empirical cumulative distribution function over a sample.
+type CDF struct {
+	sorted []float64
+}
+
+// NewCDF builds an empirical CDF from a sample (which is copied).
+func NewCDF(sample []float64) (*CDF, error) {
+	if len(sample) == 0 {
+		return nil, fmt.Errorf("cdf: %w", ErrEmptyInput)
+	}
+	s := append([]float64(nil), sample...)
+	sort.Float64s(s)
+	return &CDF{sorted: s}, nil
+}
+
+// At returns P(X ≤ x) for the empirical distribution.
+func (c *CDF) At(x float64) float64 {
+	// Number of samples ≤ x.
+	n := sort.SearchFloat64s(c.sorted, math.Nextafter(x, math.Inf(1)))
+	return float64(n) / float64(len(c.sorted))
+}
+
+// Quantile returns the smallest sample value v with P(X ≤ v) ≥ q, for
+// q ∈ (0, 1].
+func (c *CDF) Quantile(q float64) float64 {
+	if q <= 0 {
+		return c.sorted[0]
+	}
+	if q >= 1 {
+		return c.sorted[len(c.sorted)-1]
+	}
+	idx := int(math.Ceil(q*float64(len(c.sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	return c.sorted[idx]
+}
+
+// Points samples the CDF at n evenly spaced values spanning the data range,
+// returning (x, P(X≤x)) pairs — what a figure plots.
+func (c *CDF) Points(n int) (xs, ps []float64) {
+	if n < 2 {
+		n = 2
+	}
+	lo := c.sorted[0]
+	hi := c.sorted[len(c.sorted)-1]
+	xs = make([]float64, n)
+	ps = make([]float64, n)
+	for i := 0; i < n; i++ {
+		x := lo + (hi-lo)*float64(i)/float64(n-1)
+		xs[i] = x
+		ps[i] = c.At(x)
+	}
+	return xs, ps
+}

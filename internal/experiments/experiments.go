@@ -1,0 +1,103 @@
+// Package experiments contains one driver per figure of the paper's
+// analysis and evaluation sections. Each driver generates its workload with
+// internal/scenario, runs the pipeline under test, and returns a result
+// struct that renders the same rows/series the paper plots.
+//
+// The DESIGN.md per-experiment index maps figure IDs to these drivers;
+// cmd/mlink-exp and bench_test.go execute them.
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"mlink/internal/body"
+	"mlink/internal/csi"
+	"mlink/internal/geom"
+	"mlink/internal/scenario"
+)
+
+// Series is a named (x, y) sequence — one curve of a figure.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// renderSeries prints aligned x/y columns.
+func renderSeries(b *strings.Builder, s Series, xLabel, yLabel string) {
+	fmt.Fprintf(b, "%s\n", s.Name)
+	fmt.Fprintf(b, "  %14s  %14s\n", xLabel, yLabel)
+	for i := range s.X {
+		fmt.Fprintf(b, "  %14.4f  %14.4f\n", s.X[i], s.Y[i])
+	}
+}
+
+// captureWindow captures n packets with an optional static target plus
+// stepping background dynamics.
+func captureWindow(x *csi.Extractor, n int, target *body.Body, bg *scenario.Background) []*csi.Frame {
+	frames := make([]*csi.Frame, 0, n)
+	for i := 0; i < n; i++ {
+		var bodies []body.Body
+		if bg != nil {
+			bodies = bg.Step()
+		}
+		if target != nil {
+			bodies = append(bodies, *target)
+		}
+		frames = append(frames, x.Capture(bodies))
+	}
+	return frames
+}
+
+// captureJitteredWindow is captureWindow with per-packet position jitter on
+// the target (people are never perfectly static, which is what makes
+// packet-averaged AoA estimation work — §V-B3).
+func captureJitteredWindow(x *csi.Extractor, n int, target body.Body, jitter float64, bg *scenario.Background, rng *rand.Rand) []*csi.Frame {
+	frames := make([]*csi.Frame, 0, n)
+	base := target.Position
+	for i := 0; i < n; i++ {
+		var bodies []body.Body
+		if bg != nil {
+			bodies = bg.Step()
+		}
+		t := target
+		t.Position = geom.Point{
+			X: base.X + rng.NormFloat64()*jitter,
+			Y: base.Y + rng.NormFloat64()*jitter,
+		}
+		bodies = append(bodies, t)
+		frames = append(frames, x.Capture(bodies))
+	}
+	return frames
+}
+
+// randNew returns a seeded RNG (shorthand used by figure drivers).
+func randNew(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+// bodyDefault is shorthand for a typical adult at p.
+func bodyDefault(p geom.Point) body.Body { return body.Default(p) }
+
+// meanRSSPerSubcarrier averages the per-subcarrier RSS (dB) of one antenna
+// over a window.
+func meanRSSPerSubcarrier(frames []*csi.Frame, antenna int) []float64 {
+	if len(frames) == 0 {
+		return nil
+	}
+	n := frames[0].NumSubcarriers()
+	out := make([]float64, n)
+	for _, f := range frames {
+		for k, v := range f.CSI[antenna] {
+			re, im := real(v), imag(v)
+			p := re*re + im*im
+			if p > 0 {
+				out[k] += 10 * log10(p)
+			}
+		}
+	}
+	for k := range out {
+		out[k] /= float64(len(frames))
+	}
+	return out
+}

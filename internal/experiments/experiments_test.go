@@ -1,0 +1,136 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"mlink/internal/core"
+)
+
+// smallCampaign runs a reduced-size campaign once per test binary.
+var smallCampaignCache *Campaign
+
+func smallCampaign(t *testing.T) *Campaign {
+	t.Helper()
+	if smallCampaignCache != nil {
+		return smallCampaignCache
+	}
+	cfg := CampaignConfig{
+		Cases:              []int{1, 2, 3, 4, 5},
+		Sessions:           1,
+		CalibrationPackets: 100,
+		WindowPackets:      20,
+		WindowsPerLocation: 1,
+		BackgroundPeople:   3,
+		Seed:               7,
+	}
+	c, err := RunCampaign(cfg)
+	if err != nil {
+		t.Fatalf("campaign: %v", err)
+	}
+	smallCampaignCache = c
+	return c
+}
+
+func TestRunCampaignShape(t *testing.T) {
+	c := smallCampaign(t)
+	// 5 cases × 1 session × (9 locations × 1 window × 2 classes) × 3 schemes.
+	want := 5 * 1 * (9*1 + 9*1) * 3
+	if len(c.Samples) != want {
+		t.Fatalf("samples = %d, want %d", len(c.Samples), want)
+	}
+	for _, scheme := range Schemes {
+		samples := c.SchemeSamples(scheme)
+		var pos, neg int
+		for _, s := range samples {
+			if s.Positive {
+				pos++
+			} else {
+				neg++
+			}
+			if s.Score < 0 {
+				t.Fatalf("negative score %v", s.Score)
+			}
+		}
+		if pos != neg {
+			t.Fatalf("%v: unbalanced classes %d/%d", scheme, pos, neg)
+		}
+	}
+}
+
+func TestRunCampaignValidation(t *testing.T) {
+	if _, err := RunCampaign(CampaignConfig{}); err == nil {
+		t.Fatal("empty config accepted")
+	}
+}
+
+func TestFig7OrderingMatchesPaper(t *testing.T) {
+	c := smallCampaign(t)
+	roc, err := Fig7(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(roc.PerScheme) != 3 {
+		t.Fatalf("schemes = %d", len(roc.PerScheme))
+	}
+	byScheme := map[core.Scheme]SchemeROC{}
+	for _, s := range roc.PerScheme {
+		byScheme[s.Scheme] = s
+	}
+	base := byScheme[core.SchemeBaseline]
+	sub := byScheme[core.SchemeSubcarrier]
+	path := byScheme[core.SchemeSubcarrierPath]
+	t.Logf("AUC: baseline %.3f, subcarrier %.3f, subcarrier+path %.3f", base.AUC, sub.AUC, path.AUC)
+	t.Logf("balanced: baseline %.1f%%/%.1f%%, subcarrier %.1f%%/%.1f%%, path %.1f%%/%.1f%%",
+		100*base.Balanced.TPR, 100*base.Balanced.FPR,
+		100*sub.Balanced.TPR, 100*sub.Balanced.FPR,
+		100*path.Balanced.TPR, 100*path.Balanced.FPR)
+	// The paper's headline ordering, asserted within the sampling noise of
+	// this reduced smoke campaign (±0.05 AUC at ~45 samples/class; the
+	// full-size bench in bench_test.go exercises the paper-scale campaign).
+	if sub.AUC < base.AUC-0.05 {
+		t.Errorf("subcarrier weighting (%.3f) clearly below baseline (%.3f)", sub.AUC, base.AUC)
+	}
+	if path.AUC <= base.AUC {
+		t.Errorf("path weighting (%.3f) did not beat baseline (%.3f)", path.AUC, base.AUC)
+	}
+	if path.AUC <= sub.AUC {
+		t.Errorf("path weighting (%.3f) did not beat subcarrier weighting (%.3f)", path.AUC, sub.AUC)
+	}
+	// Balanced detection accuracy must be materially above chance.
+	if sub.Balanced.TPR < 0.65 {
+		t.Errorf("subcarrier balanced TPR = %.2f, want ≥0.65", sub.Balanced.TPR)
+	}
+	if path.Balanced.TPR < 0.8 {
+		t.Errorf("path balanced TPR = %.2f, want ≥0.8", path.Balanced.TPR)
+	}
+	if out := roc.Render(); !strings.Contains(out, "Fig. 7") {
+		t.Fatal("render missing header")
+	}
+}
+
+func TestFig8PerCase(t *testing.T) {
+	c := smallCampaign(t)
+	roc, err := Fig7(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f8, err := Fig8(c, roc, []int{1, 2, 3, 4, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, scheme := range Schemes {
+		rates := f8.PerScheme[scheme]
+		if len(rates) != 5 {
+			t.Fatalf("%v rates = %d", scheme, len(rates))
+		}
+		for i, r := range rates {
+			if r < 0 || r > 1 {
+				t.Fatalf("%v case %d rate %v", scheme, i+1, r)
+			}
+		}
+	}
+	if out := f8.Render(); !strings.Contains(out, "case") {
+		t.Fatal("render broken")
+	}
+}

@@ -1,0 +1,300 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+
+	"mlink/internal/body"
+	"mlink/internal/core"
+	"mlink/internal/dsp"
+	"mlink/internal/scenario"
+)
+
+func log10(x float64) float64 { return math.Log10(x) }
+
+// CharacterizationResult holds the §III measurement campaign outputs that
+// feed Figs. 2a, 3a, 3b and 3c: per-location subcarrier RSS changes and
+// multipath factors on a 4 m classroom link.
+type CharacterizationResult struct {
+	// DeltaRSS pools the per-subcarrier RSS change (dB) of every location.
+	DeltaRSS []float64
+	// Mu pools the corresponding multipath factors.
+	Mu []float64
+	// PerSubcarrier keeps (Δs, μ) pairs per subcarrier for the log fits.
+	PerSubcarrier [][][2]float64
+	// Locations is the number of presence locations measured.
+	Locations int
+}
+
+// RunCharacterization reproduces the §III-A campaign: many static presence
+// locations on/near a 4 m link; for each, a short window of packets is
+// compared against the empty-room profile.
+func RunCharacterization(locations, packetsPerLocation int, seed int64) (*CharacterizationResult, error) {
+	s, err := scenario.Classroom(seed)
+	if err != nil {
+		return nil, fmt.Errorf("characterization: %w", err)
+	}
+	x, err := s.NewExtractor(1)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(seed + 99))
+
+	// Empty-room profile (the calibration RSS s(0)).
+	const ant = 1 // centre antenna, as a single-antenna link
+	calFrames := captureWindow(x, 200, nil, nil)
+	cal := meanRSSPerSubcarrier(calFrames, ant)
+	nSub := len(cal)
+
+	res := &CharacterizationResult{
+		PerSubcarrier: make([][][2]float64, nSub),
+		Locations:     locations,
+	}
+	locs := s.RandomPresenceLocations(locations, 1.0, rng)
+	for _, loc := range locs {
+		target := body.Default(loc)
+		window := captureWindow(x, packetsPerLocation, &target, nil)
+		mon := meanRSSPerSubcarrier(window, ant)
+
+		// Mean multipath factor per subcarrier over the window.
+		muSum := make([]float64, nSub)
+		for _, f := range window {
+			mu, err := core.MultipathFactors(f.CSI[ant], s.Grid)
+			if err != nil {
+				return nil, err
+			}
+			for k, v := range mu {
+				muSum[k] += v
+			}
+		}
+		for k := 0; k < nSub; k++ {
+			delta := mon[k] - cal[k]
+			mu := muSum[k] / float64(len(window))
+			res.DeltaRSS = append(res.DeltaRSS, delta)
+			res.Mu = append(res.Mu, mu)
+			res.PerSubcarrier[k] = append(res.PerSubcarrier[k], [2]float64{mu, delta})
+		}
+	}
+	return res, nil
+}
+
+// Fig2aResult is the CDF of subcarrier RSS change over the presence
+// locations.
+type Fig2aResult struct {
+	CDF Series
+	// FracNegative is the fraction of (location, subcarrier) pairs whose
+	// RSS dropped — the paper's point is that this is well below 1.
+	FracNegative float64
+	// FracRise is the fraction with RSS rise beyond +0.5 dB.
+	FracRise float64
+}
+
+// Fig2a summarizes a characterization run into the Fig. 2a CDF.
+func Fig2a(c *CharacterizationResult, points int) (*Fig2aResult, error) {
+	cdf, err := dsp.NewCDF(c.DeltaRSS)
+	if err != nil {
+		return nil, fmt.Errorf("fig2a: %w", err)
+	}
+	xs, ps := cdf.Points(points)
+	var neg, rise float64
+	for _, d := range c.DeltaRSS {
+		if d < 0 {
+			neg++
+		}
+		if d > 0.5 {
+			rise++
+		}
+	}
+	n := float64(len(c.DeltaRSS))
+	return &Fig2aResult{
+		CDF:          Series{Name: "RSS change CDF (500 locations)", X: xs, Y: ps},
+		FracNegative: neg / n,
+		FracRise:     rise / n,
+	}, nil
+}
+
+// Render prints the figure data as text.
+func (r *Fig2aResult) Render() string {
+	var b strings.Builder
+	b.WriteString("Fig. 2a — CDF of subcarrier RSS change over presence locations\n")
+	fmt.Fprintf(&b, "fraction with RSS drop: %.3f, fraction with RSS rise >0.5 dB: %.3f\n",
+		r.FracNegative, r.FracRise)
+	renderSeries(&b, r.CDF, "ΔRSS (dB)", "P(X≤x)")
+	return b.String()
+}
+
+// Fig2bResult traces per-subcarrier RSS change as a person crosses the
+// link, highlighting two subcarriers whose trends diverge.
+type Fig2bResult struct {
+	// SubA and SubB are the traced subcarrier indices (0-based).
+	SubA, SubB int
+	TraceA     Series
+	TraceB     Series
+	// DivergentPackets counts packets where one subcarrier rises while the
+	// other drops by more than 0.5 dB each.
+	DivergentPackets int
+}
+
+// Fig2b reproduces the crossing experiment: 1000 packets while a person
+// walks across the link midpoint.
+func Fig2b(packets int, seed int64) (*Fig2bResult, error) {
+	s, err := scenario.Classroom(seed)
+	if err != nil {
+		return nil, fmt.Errorf("fig2b: %w", err)
+	}
+	x, err := s.NewExtractor(2)
+	if err != nil {
+		return nil, err
+	}
+	const ant = 1
+	cal := meanRSSPerSubcarrier(captureWindow(x, 200, nil, nil), ant)
+
+	traj := s.CrossingTrajectory(packets, 4.0)
+	// Paper subcarriers 15 and 25 (1-based) → 14 and 24.
+	const subA, subB = 14, 24
+	res := &Fig2bResult{
+		SubA:   subA,
+		SubB:   subB,
+		TraceA: Series{Name: fmt.Sprintf("subcarrier %d", subA+1)},
+		TraceB: Series{Name: fmt.Sprintf("subcarrier %d", subB+1)},
+	}
+	for i, pos := range traj {
+		target := body.Default(pos)
+		f := x.Capture([]body.Body{target})
+		rss := core.SubcarrierRSSdB(f.CSI[ant])
+		dA := rss[subA] - cal[subA]
+		dB := rss[subB] - cal[subB]
+		res.TraceA.X = append(res.TraceA.X, float64(i))
+		res.TraceA.Y = append(res.TraceA.Y, dA)
+		res.TraceB.X = append(res.TraceB.X, float64(i))
+		res.TraceB.Y = append(res.TraceB.Y, dB)
+		if (dA < -0.5 && dB > 0.5) || (dA > 0.5 && dB < -0.5) {
+			res.DivergentPackets++
+		}
+	}
+	// Smooth the rendered traces the way the paper's figure does.
+	res.TraceA.Y = dsp.MovingAverage(res.TraceA.Y, 25)
+	res.TraceB.Y = dsp.MovingAverage(res.TraceB.Y, 25)
+	return res, nil
+}
+
+// Render prints a decimated version of both traces.
+func (r *Fig2bResult) Render() string {
+	var b strings.Builder
+	b.WriteString("Fig. 2b — subcarrier RSS change while a person crosses the link\n")
+	fmt.Fprintf(&b, "packets where subcarriers %d and %d diverge (one rises, one drops): %d\n",
+		r.SubA+1, r.SubB+1, r.DivergentPackets)
+	fmt.Fprintf(&b, "  %8s  %14s  %14s\n", "packet", r.TraceA.Name, r.TraceB.Name)
+	step := len(r.TraceA.X) / 25
+	if step < 1 {
+		step = 1
+	}
+	for i := 0; i < len(r.TraceA.X); i += step {
+		fmt.Fprintf(&b, "  %8.0f  %14.3f  %14.3f\n", r.TraceA.X[i], r.TraceA.Y[i], r.TraceB.Y[i])
+	}
+	return b.String()
+}
+
+// Fig3aResult is the CDF of the multipath factor over the §III campaign.
+type Fig3aResult struct {
+	CDF Series
+	// P10/P50/P90 summarize the spread the paper's Fig. 3a shows.
+	P10, P50, P90 float64
+}
+
+// Fig3a summarizes the characterization multipath factors.
+func Fig3a(c *CharacterizationResult, points int) (*Fig3aResult, error) {
+	cdf, err := dsp.NewCDF(c.Mu)
+	if err != nil {
+		return nil, fmt.Errorf("fig3a: %w", err)
+	}
+	xs, ps := cdf.Points(points)
+	p10, err := dsp.Percentile(c.Mu, 10)
+	if err != nil {
+		return nil, err
+	}
+	p50, err := dsp.Percentile(c.Mu, 50)
+	if err != nil {
+		return nil, err
+	}
+	p90, err := dsp.Percentile(c.Mu, 90)
+	if err != nil {
+		return nil, err
+	}
+	return &Fig3aResult{
+		CDF: Series{Name: "multipath factor CDF", X: xs, Y: ps},
+		P10: p10, P50: p50, P90: p90,
+	}, nil
+}
+
+// Render prints the figure data as text.
+func (r *Fig3aResult) Render() string {
+	var b strings.Builder
+	b.WriteString("Fig. 3a — multipath factor distribution\n")
+	fmt.Fprintf(&b, "p10=%.3f median=%.3f p90=%.3f\n", r.P10, r.P50, r.P90)
+	renderSeries(&b, r.CDF, "μ", "P(X≤x)")
+	return b.String()
+}
+
+// LogFitEntry is one subcarrier's Δs-vs-μ logarithmic fit (Fig. 3b/3c).
+type LogFitEntry struct {
+	Subcarrier int // 1-based, as the paper labels them
+	A, B, R2   float64
+	Samples    int
+}
+
+// Fig3bcResult carries the logarithmic fits at selected subcarriers.
+type Fig3bcResult struct {
+	Fits []LogFitEntry
+	// MonotoneFraction is the share of fitted subcarriers with negative
+	// slope (Δs falls as μ grows — the paper's key monotonicity claim).
+	MonotoneFraction float64
+}
+
+// Fig3bc fits Δs = A·ln(μ) + B at the given 1-based subcarrier labels
+// (the paper displays 5 separated subcarriers).
+func Fig3bc(c *CharacterizationResult, subcarriers []int) (*Fig3bcResult, error) {
+	res := &Fig3bcResult{}
+	neg := 0
+	for _, sc := range subcarriers {
+		k := sc - 1
+		if k < 0 || k >= len(c.PerSubcarrier) {
+			return nil, fmt.Errorf("subcarrier %d out of range: %w", sc, core.ErrBadInput)
+		}
+		pairs := c.PerSubcarrier[k]
+		mus := make([]float64, len(pairs))
+		ds := make([]float64, len(pairs))
+		for i, p := range pairs {
+			mus[i] = p[0]
+			ds[i] = p[1]
+		}
+		fit, err := dsp.FitLog(mus, ds)
+		if err != nil {
+			return nil, fmt.Errorf("fig3 fit subcarrier %d: %w", sc, err)
+		}
+		res.Fits = append(res.Fits, LogFitEntry{
+			Subcarrier: sc, A: fit.A, B: fit.B, R2: fit.R2, Samples: len(pairs),
+		})
+		if fit.A < 0 {
+			neg++
+		}
+	}
+	if len(res.Fits) > 0 {
+		res.MonotoneFraction = float64(neg) / float64(len(res.Fits))
+	}
+	return res, nil
+}
+
+// Render prints the fit table.
+func (r *Fig3bcResult) Render() string {
+	var b strings.Builder
+	b.WriteString("Fig. 3b/3c — logarithmic fits Δs = A·ln(μ) + B per subcarrier\n")
+	fmt.Fprintf(&b, "fraction with decreasing trend (A<0): %.2f\n", r.MonotoneFraction)
+	fmt.Fprintf(&b, "  %10s  %10s  %10s  %8s  %8s\n", "subcarrier", "A", "B", "R2", "samples")
+	for _, f := range r.Fits {
+		fmt.Fprintf(&b, "  %10d  %10.3f  %10.3f  %8.3f  %8d\n", f.Subcarrier, f.A, f.B, f.R2, f.Samples)
+	}
+	return b.String()
+}

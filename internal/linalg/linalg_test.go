@@ -1,0 +1,500 @@
+package linalg
+
+import (
+	"errors"
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+const eps = 1e-9
+
+func almostEq(a, b complex128, tol float64) bool {
+	return cmplx.Abs(a-b) <= tol
+}
+
+func TestVectorAddSub(t *testing.T) {
+	v := Vector{1 + 2i, 3}
+	w := Vector{2 - 1i, -3}
+	sum, err := v.Add(w)
+	if err != nil {
+		t.Fatalf("add: %v", err)
+	}
+	if !almostEq(sum[0], 3+1i, eps) || !almostEq(sum[1], 0, eps) {
+		t.Fatalf("sum = %v", sum)
+	}
+	diff, err := v.Sub(w)
+	if err != nil {
+		t.Fatalf("sub: %v", err)
+	}
+	if !almostEq(diff[0], -1+3i, eps) || !almostEq(diff[1], 6, eps) {
+		t.Fatalf("diff = %v", diff)
+	}
+}
+
+func TestVectorDimensionMismatch(t *testing.T) {
+	v := Vector{1}
+	w := Vector{1, 2}
+	if _, err := v.Add(w); !errors.Is(err, ErrDimensionMismatch) {
+		t.Fatalf("add err = %v, want ErrDimensionMismatch", err)
+	}
+	if _, err := v.Sub(w); !errors.Is(err, ErrDimensionMismatch) {
+		t.Fatalf("sub err = %v, want ErrDimensionMismatch", err)
+	}
+	if _, err := v.Dot(w); !errors.Is(err, ErrDimensionMismatch) {
+		t.Fatalf("dot err = %v, want ErrDimensionMismatch", err)
+	}
+}
+
+func TestVectorDotHermitian(t *testing.T) {
+	v := Vector{1 + 1i, 2}
+	// conj(v)·v must be real and equal |v|².
+	d, err := v.Dot(v)
+	if err != nil {
+		t.Fatalf("dot: %v", err)
+	}
+	if math.Abs(imag(d)) > eps {
+		t.Fatalf("self dot not real: %v", d)
+	}
+	if math.Abs(real(d)-6) > eps {
+		t.Fatalf("self dot = %v, want 6", real(d))
+	}
+}
+
+func TestVectorNormNormalize(t *testing.T) {
+	v := Vector{3, 4i}
+	if got := v.Norm(); math.Abs(got-5) > eps {
+		t.Fatalf("norm = %v, want 5", got)
+	}
+	u := v.Normalize()
+	if math.Abs(u.Norm()-1) > eps {
+		t.Fatalf("normalized norm = %v", u.Norm())
+	}
+	var zero Vector = Vector{0, 0}
+	z := zero.Normalize()
+	if z.Norm() != 0 {
+		t.Fatalf("zero normalize changed vector: %v", z)
+	}
+}
+
+func TestVectorAbsPowerPhase(t *testing.T) {
+	v := Vector{1i, -2}
+	abs := v.Abs()
+	if math.Abs(abs[0]-1) > eps || math.Abs(abs[1]-2) > eps {
+		t.Fatalf("abs = %v", abs)
+	}
+	pow := v.Power()
+	if math.Abs(pow[0]-1) > eps || math.Abs(pow[1]-4) > eps {
+		t.Fatalf("power = %v", pow)
+	}
+	ph := v.Phase()
+	if math.Abs(ph[0]-math.Pi/2) > eps || math.Abs(ph[1]-math.Pi) > eps {
+		t.Fatalf("phase = %v", ph)
+	}
+}
+
+func TestOuterProduct(t *testing.T) {
+	v := Vector{1, 1i}
+	m := Outer(v, v)
+	// vvᴴ must be Hermitian with trace = |v|².
+	if !m.IsHermitian(eps) {
+		t.Fatalf("outer product not Hermitian:\n%v", m)
+	}
+	tr, err := m.Trace()
+	if err != nil {
+		t.Fatalf("trace: %v", err)
+	}
+	if !almostEq(tr, 2, eps) {
+		t.Fatalf("trace = %v, want 2", tr)
+	}
+	if !almostEq(m.At(0, 1), cmplx.Conj(1i), eps) {
+		t.Fatalf("m[0][1] = %v", m.At(0, 1))
+	}
+}
+
+func TestMatrixMul(t *testing.T) {
+	a, err := MatrixFromRows([][]complex128{{1, 2}, {3, 4}})
+	if err != nil {
+		t.Fatalf("from rows: %v", err)
+	}
+	b, err := MatrixFromRows([][]complex128{{0, 1}, {1, 0}})
+	if err != nil {
+		t.Fatalf("from rows: %v", err)
+	}
+	p, err := a.Mul(b)
+	if err != nil {
+		t.Fatalf("mul: %v", err)
+	}
+	want := [][]complex128{{2, 1}, {4, 3}}
+	for i := range want {
+		for j := range want[i] {
+			if !almostEq(p.At(i, j), want[i][j], eps) {
+				t.Fatalf("p[%d][%d] = %v, want %v", i, j, p.At(i, j), want[i][j])
+			}
+		}
+	}
+}
+
+func TestMatrixMulVec(t *testing.T) {
+	a, _ := MatrixFromRows([][]complex128{{1, 1i}, {0, 2}})
+	got, err := a.MulVec(Vector{1, 1})
+	if err != nil {
+		t.Fatalf("mulvec: %v", err)
+	}
+	if !almostEq(got[0], 1+1i, eps) || !almostEq(got[1], 2, eps) {
+		t.Fatalf("got %v", got)
+	}
+	if _, err := a.MulVec(Vector{1}); !errors.Is(err, ErrDimensionMismatch) {
+		t.Fatalf("mulvec err = %v", err)
+	}
+}
+
+func TestMatrixFromRowsErrors(t *testing.T) {
+	if _, err := MatrixFromRows(nil); !errors.Is(err, ErrDimensionMismatch) {
+		t.Fatalf("empty rows err = %v", err)
+	}
+	if _, err := MatrixFromRows([][]complex128{{1}, {1, 2}}); !errors.Is(err, ErrDimensionMismatch) {
+		t.Fatalf("ragged rows err = %v", err)
+	}
+}
+
+func TestConjTranspose(t *testing.T) {
+	a, _ := MatrixFromRows([][]complex128{{1 + 1i, 2}, {3i, 4}})
+	h := a.ConjTranspose()
+	if !almostEq(h.At(0, 0), 1-1i, eps) || !almostEq(h.At(1, 0), 2, eps) ||
+		!almostEq(h.At(0, 1), -3i, eps) || !almostEq(h.At(1, 1), 4, eps) {
+		t.Fatalf("conj transpose wrong:\n%v", h)
+	}
+}
+
+func TestIdentityMul(t *testing.T) {
+	a, _ := MatrixFromRows([][]complex128{{1 + 1i, 2}, {3i, 4}})
+	id := Identity(2)
+	p, err := id.Mul(a)
+	if err != nil {
+		t.Fatalf("mul: %v", err)
+	}
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			if !almostEq(p.At(i, j), a.At(i, j), eps) {
+				t.Fatalf("identity mul changed matrix")
+			}
+		}
+	}
+}
+
+// randomHermitian builds an n×n Hermitian matrix with entries drawn from rng.
+func randomHermitian(rng *rand.Rand, n int) *Matrix {
+	m := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		m.Set(i, i, complex(rng.NormFloat64(), 0))
+		for j := i + 1; j < n; j++ {
+			v := complex(rng.NormFloat64(), rng.NormFloat64())
+			m.Set(i, j, v)
+			m.Set(j, i, cmplx.Conj(v))
+		}
+	}
+	return m
+}
+
+func TestEigHermitianDiagonal(t *testing.T) {
+	a, _ := MatrixFromRows([][]complex128{{3, 0}, {0, 1}})
+	e, err := EigHermitian(a)
+	if err != nil {
+		t.Fatalf("eig: %v", err)
+	}
+	if math.Abs(e.Values[0]-3) > eps || math.Abs(e.Values[1]-1) > eps {
+		t.Fatalf("values = %v", e.Values)
+	}
+}
+
+func TestEigHermitianKnown2x2(t *testing.T) {
+	// [[2, 1],[1, 2]] has eigenvalues 3 and 1.
+	a, _ := MatrixFromRows([][]complex128{{2, 1}, {1, 2}})
+	e, err := EigHermitian(a)
+	if err != nil {
+		t.Fatalf("eig: %v", err)
+	}
+	if math.Abs(e.Values[0]-3) > 1e-8 || math.Abs(e.Values[1]-1) > 1e-8 {
+		t.Fatalf("values = %v, want [3 1]", e.Values)
+	}
+}
+
+func TestEigHermitianComplexKnown(t *testing.T) {
+	// [[1, i],[-i, 1]] has eigenvalues 2 and 0.
+	a, _ := MatrixFromRows([][]complex128{{1, 1i}, {-1i, 1}})
+	e, err := EigHermitian(a)
+	if err != nil {
+		t.Fatalf("eig: %v", err)
+	}
+	if math.Abs(e.Values[0]-2) > 1e-8 || math.Abs(e.Values[1]) > 1e-8 {
+		t.Fatalf("values = %v, want [2 0]", e.Values)
+	}
+}
+
+func TestEigHermitianRejectsNonHermitian(t *testing.T) {
+	a, _ := MatrixFromRows([][]complex128{{1, 2}, {3, 4}})
+	if _, err := EigHermitian(a); !errors.Is(err, ErrNotHermitian) {
+		t.Fatalf("err = %v, want ErrNotHermitian", err)
+	}
+	b := NewMatrix(2, 3)
+	if _, err := EigHermitian(b); !errors.Is(err, ErrDimensionMismatch) {
+		t.Fatalf("err = %v, want ErrDimensionMismatch", err)
+	}
+}
+
+// verifyEigen checks A·v = λ·v for every pair and orthonormality of vectors.
+func verifyEigen(t *testing.T, a *Matrix, e *Eigen, tol float64) {
+	t.Helper()
+	n := a.Rows()
+	for k := 0; k < n; k++ {
+		v := e.Vectors.Col(k)
+		av, err := a.MulVec(v)
+		if err != nil {
+			t.Fatalf("mulvec: %v", err)
+		}
+		lv := v.Scale(complex(e.Values[k], 0))
+		diff, _ := av.Sub(lv)
+		if diff.Norm() > tol {
+			t.Fatalf("eigenpair %d residual %v > %v (λ=%v)", k, diff.Norm(), tol, e.Values[k])
+		}
+	}
+	// Orthonormality.
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			d, _ := e.Vectors.Col(i).Dot(e.Vectors.Col(j))
+			want := complex128(0)
+			if i == j {
+				want = 1
+			}
+			if cmplx.Abs(d-want) > tol {
+				t.Fatalf("vectors %d,%d not orthonormal: %v", i, j, d)
+			}
+		}
+	}
+	// Sorted descending.
+	for i := 1; i < n; i++ {
+		if e.Values[i] > e.Values[i-1]+tol {
+			t.Fatalf("values not sorted: %v", e.Values)
+		}
+	}
+}
+
+func TestEigHermitianRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, n := range []int{2, 3, 4, 5, 8} {
+		for trial := 0; trial < 20; trial++ {
+			a := randomHermitian(rng, n)
+			e, err := EigHermitian(a)
+			if err != nil {
+				t.Fatalf("n=%d trial=%d: %v", n, trial, err)
+			}
+			verifyEigen(t, a, e, 1e-7*math.Max(1, a.FrobeniusNorm()))
+		}
+	}
+}
+
+func TestEigTracePreserved(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	a := randomHermitian(rng, 6)
+	e, err := EigHermitian(a)
+	if err != nil {
+		t.Fatalf("eig: %v", err)
+	}
+	tr, _ := a.Trace()
+	var sum float64
+	for _, v := range e.Values {
+		sum += v
+	}
+	if math.Abs(real(tr)-sum) > 1e-8 {
+		t.Fatalf("trace %v != eigenvalue sum %v", real(tr), sum)
+	}
+}
+
+func TestNoiseSubspace(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a := randomHermitian(rng, 4)
+	e, err := EigHermitian(a)
+	if err != nil {
+		t.Fatalf("eig: %v", err)
+	}
+	en, err := e.NoiseSubspace(1)
+	if err != nil {
+		t.Fatalf("noise subspace: %v", err)
+	}
+	if en.Rows() != 4 || en.Cols() != 3 {
+		t.Fatalf("noise subspace shape %dx%d", en.Rows(), en.Cols())
+	}
+	// Columns must be orthogonal to the signal eigenvector.
+	sig := e.Vectors.Col(0)
+	for j := 0; j < en.Cols(); j++ {
+		d, _ := sig.Dot(en.Col(j))
+		if cmplx.Abs(d) > 1e-8 {
+			t.Fatalf("noise col %d not orthogonal to signal: %v", j, d)
+		}
+	}
+	if _, err := e.NoiseSubspace(4); !errors.Is(err, ErrDimensionMismatch) {
+		t.Fatalf("out-of-range signals err = %v", err)
+	}
+	if _, err := e.NoiseSubspace(-1); !errors.Is(err, ErrDimensionMismatch) {
+		t.Fatalf("negative signals err = %v", err)
+	}
+}
+
+func TestEigZeroMatrix(t *testing.T) {
+	a := NewMatrix(3, 3)
+	e, err := EigHermitian(a)
+	if err != nil {
+		t.Fatalf("eig zero: %v", err)
+	}
+	for _, v := range e.Values {
+		if v != 0 {
+			t.Fatalf("zero matrix eigenvalues = %v", e.Values)
+		}
+	}
+}
+
+// Property: for random vectors, ‖v‖² equals conj(v)·v.
+func TestQuickNormMatchesDot(t *testing.T) {
+	f := func(res, ims []float64) bool {
+		n := len(res)
+		if len(ims) < n {
+			n = len(ims)
+		}
+		if n == 0 {
+			return true
+		}
+		v := make(Vector, n)
+		for i := 0; i < n; i++ {
+			// Clamp to keep the squares finite.
+			re := math.Mod(res[i], 1e6)
+			im := math.Mod(ims[i], 1e6)
+			if math.IsNaN(re) || math.IsNaN(im) {
+				return true
+			}
+			v[i] = complex(re, im)
+		}
+		d, err := v.Dot(v)
+		if err != nil {
+			return false
+		}
+		n2 := v.Norm() * v.Norm()
+		scale := math.Max(1, n2)
+		return math.Abs(real(d)-n2) <= 1e-6*scale && math.Abs(imag(d)) <= 1e-6*scale
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: mirror-of-mirror across a segment is the identity, and Hermitian
+// eigendecomposition reconstructs the matrix: A = V diag(λ) Vᴴ.
+func TestQuickEigReconstruction(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 30; trial++ {
+		n := 2 + rng.Intn(5)
+		a := randomHermitian(rng, n)
+		e, err := EigHermitian(a)
+		if err != nil {
+			t.Fatalf("eig: %v", err)
+		}
+		// Reconstruct V·diag(λ)·Vᴴ.
+		d := NewMatrix(n, n)
+		for i := 0; i < n; i++ {
+			d.Set(i, i, complex(e.Values[i], 0))
+		}
+		vd, err := e.Vectors.Mul(d)
+		if err != nil {
+			t.Fatalf("mul: %v", err)
+		}
+		rec, err := vd.Mul(e.Vectors.ConjTranspose())
+		if err != nil {
+			t.Fatalf("mul: %v", err)
+		}
+		diff, err := rec.Sub(a)
+		if err != nil {
+			t.Fatalf("sub: %v", err)
+		}
+		if diff.FrobeniusNorm() > 1e-7*math.Max(1, a.FrobeniusNorm()) {
+			t.Fatalf("reconstruction error %v", diff.FrobeniusNorm())
+		}
+	}
+}
+
+func TestMatrixScaleAddSub(t *testing.T) {
+	a, _ := MatrixFromRows([][]complex128{{1, 2}, {3, 4}})
+	b := a.Scale(2)
+	if !almostEq(b.At(1, 1), 8, eps) {
+		t.Fatalf("scale wrong: %v", b.At(1, 1))
+	}
+	s, err := a.Add(a)
+	if err != nil {
+		t.Fatalf("add: %v", err)
+	}
+	if !almostEq(s.At(0, 1), 4, eps) {
+		t.Fatalf("add wrong")
+	}
+	d, err := s.Sub(a)
+	if err != nil {
+		t.Fatalf("sub: %v", err)
+	}
+	if !almostEq(d.At(0, 1), 2, eps) {
+		t.Fatalf("sub wrong")
+	}
+	c := NewMatrix(3, 2)
+	if _, err := a.Add(c); !errors.Is(err, ErrDimensionMismatch) {
+		t.Fatalf("add shape err = %v", err)
+	}
+	if _, err := a.Sub(c); !errors.Is(err, ErrDimensionMismatch) {
+		t.Fatalf("sub shape err = %v", err)
+	}
+	if _, err := a.Mul(c.ConjTranspose().ConjTranspose()); !errors.Is(err, ErrDimensionMismatch) {
+		t.Fatalf("mul shape err = %v", err)
+	}
+	if _, err := c.Trace(); !errors.Is(err, ErrDimensionMismatch) {
+		t.Fatalf("trace shape err = %v", err)
+	}
+}
+
+func TestRowColClone(t *testing.T) {
+	a, _ := MatrixFromRows([][]complex128{{1, 2}, {3, 4}})
+	r := a.Row(1)
+	if !almostEq(r[0], 3, eps) || !almostEq(r[1], 4, eps) {
+		t.Fatalf("row = %v", r)
+	}
+	c := a.Col(0)
+	if !almostEq(c[0], 1, eps) || !almostEq(c[1], 3, eps) {
+		t.Fatalf("col = %v", c)
+	}
+	cl := a.Clone()
+	cl.Set(0, 0, 99)
+	if almostEq(a.At(0, 0), 99, eps) {
+		t.Fatalf("clone aliases original")
+	}
+	// Row/Col must also be copies.
+	r[0] = 99
+	if almostEq(a.At(1, 0), 99, eps) {
+		t.Fatalf("row aliases matrix")
+	}
+}
+
+func TestIsHermitianNonSquare(t *testing.T) {
+	if NewMatrix(2, 3).IsHermitian(eps) {
+		t.Fatal("non-square reported Hermitian")
+	}
+}
+
+func TestVectorCloneConj(t *testing.T) {
+	v := Vector{1 + 1i}
+	c := v.Clone()
+	c[0] = 0
+	if v[0] == 0 {
+		t.Fatal("clone aliases")
+	}
+	cj := v.Conj()
+	if !almostEq(cj[0], 1-1i, eps) {
+		t.Fatalf("conj = %v", cj)
+	}
+}

@@ -1,0 +1,148 @@
+// Package linalg provides the small dense complex linear-algebra kernel the
+// rest of the repository builds on: complex vectors, matrices, and a
+// Hermitian eigendecomposition.
+//
+// The standard library has no linear algebra, and MUSIC (internal/music)
+// needs eigenvectors of small Hermitian covariance matrices, so this package
+// implements a cyclic Jacobi eigensolver from scratch. Sizes are small
+// (antenna counts, subcarrier counts), so clarity is favoured over blocking
+// or SIMD tricks.
+package linalg
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/cmplx"
+)
+
+// ErrDimensionMismatch is returned when operand shapes are incompatible.
+var ErrDimensionMismatch = errors.New("linalg: dimension mismatch")
+
+// Vector is a dense complex vector.
+type Vector []complex128
+
+// NewVector returns a zero vector of length n.
+func NewVector(n int) Vector {
+	return make(Vector, n)
+}
+
+// Clone returns a deep copy of v.
+func (v Vector) Clone() Vector {
+	out := make(Vector, len(v))
+	copy(out, v)
+	return out
+}
+
+// Add returns v + w.
+func (v Vector) Add(w Vector) (Vector, error) {
+	if len(v) != len(w) {
+		return nil, fmt.Errorf("add %d and %d: %w", len(v), len(w), ErrDimensionMismatch)
+	}
+	out := make(Vector, len(v))
+	for i := range v {
+		out[i] = v[i] + w[i]
+	}
+	return out, nil
+}
+
+// Sub returns v - w.
+func (v Vector) Sub(w Vector) (Vector, error) {
+	if len(v) != len(w) {
+		return nil, fmt.Errorf("sub %d and %d: %w", len(v), len(w), ErrDimensionMismatch)
+	}
+	out := make(Vector, len(v))
+	for i := range v {
+		out[i] = v[i] - w[i]
+	}
+	return out, nil
+}
+
+// Scale returns s * v.
+func (v Vector) Scale(s complex128) Vector {
+	out := make(Vector, len(v))
+	for i := range v {
+		out[i] = s * v[i]
+	}
+	return out
+}
+
+// Dot returns the Hermitian inner product conj(v)·w.
+func (v Vector) Dot(w Vector) (complex128, error) {
+	if len(v) != len(w) {
+		return 0, fmt.Errorf("dot %d and %d: %w", len(v), len(w), ErrDimensionMismatch)
+	}
+	var sum complex128
+	for i := range v {
+		sum += cmplx.Conj(v[i]) * w[i]
+	}
+	return sum, nil
+}
+
+// Norm returns the Euclidean norm of v.
+func (v Vector) Norm() float64 {
+	var sum float64
+	for _, x := range v {
+		re, im := real(x), imag(x)
+		sum += re*re + im*im
+	}
+	return math.Sqrt(sum)
+}
+
+// Normalize returns v scaled to unit norm. The zero vector is returned
+// unchanged.
+func (v Vector) Normalize() Vector {
+	n := v.Norm()
+	if n == 0 {
+		return v.Clone()
+	}
+	return v.Scale(complex(1/n, 0))
+}
+
+// Abs returns the element-wise magnitudes of v.
+func (v Vector) Abs() []float64 {
+	out := make([]float64, len(v))
+	for i, x := range v {
+		out[i] = cmplx.Abs(x)
+	}
+	return out
+}
+
+// Power returns the element-wise squared magnitudes |v[i]|².
+func (v Vector) Power() []float64 {
+	out := make([]float64, len(v))
+	for i, x := range v {
+		re, im := real(x), imag(x)
+		out[i] = re*re + im*im
+	}
+	return out
+}
+
+// Phase returns the element-wise phases of v in radians.
+func (v Vector) Phase() []float64 {
+	out := make([]float64, len(v))
+	for i, x := range v {
+		out[i] = cmplx.Phase(x)
+	}
+	return out
+}
+
+// Conj returns the element-wise complex conjugate of v.
+func (v Vector) Conj() Vector {
+	out := make(Vector, len(v))
+	for i, x := range v {
+		out[i] = cmplx.Conj(x)
+	}
+	return out
+}
+
+// Outer returns the outer product v wᴴ as a len(v)×len(w) matrix.
+func Outer(v, w Vector) *Matrix {
+	m := NewMatrix(len(v), len(w))
+	for i := range v {
+		for j := range w {
+			m.Set(i, j, v[i]*cmplx.Conj(w[j]))
+		}
+	}
+	return m
+}

@@ -1,0 +1,14 @@
+package sanitize
+
+import (
+	"math"
+	"math/cmplx"
+)
+
+// phase returns the argument of v in radians.
+func phase(v complex128) float64 { return cmplx.Phase(v) }
+
+// rotor returns e^{jφ}.
+func rotor(phi float64) complex128 {
+	return complex(math.Cos(phi), math.Sin(phi))
+}

@@ -1,0 +1,116 @@
+package mlink
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestQuickstartFlow(t *testing.T) {
+	sys, err := NewClassroomSystem(SchemeSubcarrier, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Calibrate(200); err != nil {
+		t.Fatal(err)
+	}
+	empty, err := sys.DetectPresence(25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if empty.Present {
+		t.Fatalf("false positive on empty room: %+v", empty)
+	}
+	present, err := sys.DetectPresence(25, &Person{X: 3, Y: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !present.Present {
+		t.Fatalf("missed LOS presence: %+v", present)
+	}
+	if present.Score <= empty.Score {
+		t.Fatalf("presence score %v not above empty %v", present.Score, empty.Score)
+	}
+}
+
+func TestDetectBeforeCalibrate(t *testing.T) {
+	sys, err := NewClassroomSystem(SchemeBaseline, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.DetectPresence(25); !errors.Is(err, ErrNotCalibrated) {
+		t.Fatalf("err = %v, want ErrNotCalibrated", err)
+	}
+	if _, err := sys.ScoreWindow(nil); !errors.Is(err, ErrNotCalibrated) {
+		t.Fatalf("err = %v, want ErrNotCalibrated", err)
+	}
+}
+
+func TestLinkCaseSystems(t *testing.T) {
+	for n := 1; n <= 5; n++ {
+		sys, err := NewLinkCaseSystem(n, SchemeBaseline, int64(n))
+		if err != nil {
+			t.Fatalf("case %d: %v", n, err)
+		}
+		f := sys.Capture()
+		if f.NumAntennas() != 3 || f.NumSubcarriers() != 30 {
+			t.Fatalf("case %d frame %dx%d", n, f.NumAntennas(), f.NumSubcarriers())
+		}
+	}
+	if _, err := NewLinkCaseSystem(9, SchemeBaseline, 1); err == nil {
+		t.Fatal("case 9 accepted")
+	}
+}
+
+func TestAssessLink(t *testing.T) {
+	sys, err := NewClassroomSystem(SchemeSubcarrier, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mean, perSub, err := sys.AssessLink(20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(perSub) != 30 {
+		t.Fatalf("perSub = %d", len(perSub))
+	}
+	if mean <= 0 || mean > 5 {
+		t.Fatalf("mean mu = %v", mean)
+	}
+}
+
+func TestCustomPerson(t *testing.T) {
+	sys, err := NewClassroomSystem(SchemeBaseline, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A larger person must perturb the channel at least as much as a tiny
+	// one when blocking the LOS.
+	small := sys.CaptureWindow(5, &Person{X: 3, Y: 4, Radius: 0.05, RCS: 0.05})
+	large := sys.CaptureWindow(5, &Person{X: 3, Y: 4, Radius: 0.35, RCS: 1.5})
+	if len(small) != 5 || len(large) != 5 {
+		t.Fatal("window sizes wrong")
+	}
+	// nil people are skipped.
+	f := sys.Capture(nil, &Person{X: 3, Y: 4}, nil)
+	if f == nil {
+		t.Fatal("capture failed")
+	}
+}
+
+func TestScoreWindowExternalFrames(t *testing.T) {
+	sys, err := NewClassroomSystem(SchemeSubcarrierPath, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Calibrate(200); err != nil {
+		t.Fatal(err)
+	}
+	window := sys.CaptureWindow(25, &Person{X: 3, Y: 4})
+	score, err := sys.ScoreWindow(window)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if score <= 0 {
+		t.Fatalf("score = %v", score)
+	}
+}
