@@ -8,6 +8,8 @@ package mlink
 // tables are printed by cmd/mlink-exp.
 
 import (
+	"context"
+	"fmt"
 	"math/rand"
 	"sync"
 	"testing"
@@ -15,6 +17,7 @@ import (
 	"mlink/internal/body"
 	"mlink/internal/core"
 	"mlink/internal/csi"
+	"mlink/internal/engine"
 	"mlink/internal/eval"
 	"mlink/internal/experiments"
 	"mlink/internal/geom"
@@ -253,6 +256,111 @@ func BenchmarkFig12PacketQuantity(b *testing.B) {
 		at25 = r.PerScheme[core.SchemeSubcarrierPath][2]
 	}
 	b.ReportMetric(100*at25, "pathTPat25pkts%")
+}
+
+// --- Engine (multi-link monitoring) ------------------------------------
+
+// Pre-recorded empty-room frames shared by the engine benchmarks, so they
+// measure scoring throughput rather than simulation cost.
+var (
+	engineFramesOnce sync.Once
+	engineFrames     []*csi.Frame
+	engineScenario   *scenario.Scenario
+	engineFramesErr  error
+)
+
+func engineFixture(b *testing.B) (*scenario.Scenario, []*csi.Frame) {
+	b.Helper()
+	engineFramesOnce.Do(func() {
+		s, err := scenario.LinkCase(2, 7)
+		if err != nil {
+			engineFramesErr = err
+			return
+		}
+		x, err := s.NewExtractor(1)
+		if err != nil {
+			engineFramesErr = err
+			return
+		}
+		engineScenario = s
+		engineFrames = x.CaptureN(200, nil)
+	})
+	if engineFramesErr != nil {
+		b.Fatal(engineFramesErr)
+	}
+	return engineScenario, engineFrames
+}
+
+// benchmarkEngineScoring drives an 8-link fleet through the engine's
+// scoring pool with the given worker count. One benchmark op is one
+// monitoring window per link. Frames are replayed from memory; detector
+// profiles are calibrated once outside the timer.
+func benchmarkEngineScoring(b *testing.B, workers int) {
+	const links = 8
+	s, frames := engineFixture(b)
+	e := engine.New(engine.Config{Workers: workers, WindowSize: 25, Fusion: engine.KOfN{K: 1}})
+	for i := 0; i < links; i++ {
+		cfg := core.DefaultConfig(s.Grid, core.SchemeSubcarrier, s.Env.RX.Offsets())
+		if err := e.AddLink(fmt.Sprintf("l%d", i), cfg, engine.NewReplaySource(frames, true)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	ctx := context.Background()
+	if err := e.Calibrate(ctx, 60); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	if err := e.Run(ctx, b.N); err != nil {
+		b.Fatal(err)
+	}
+	b.StopTimer()
+	scored := float64(e.Metrics().WindowsScored)
+	b.ReportMetric(scored/b.Elapsed().Seconds(), "scores/s")
+}
+
+// BenchmarkEngineScoringWorkers reports fleet scoring throughput as the
+// pool grows — the scores/s metric should scale near-linearly with workers
+// up to the machine's core count (on a single-core host the curve is flat).
+func BenchmarkEngineScoringWorkers(b *testing.B) {
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			benchmarkEngineScoring(b, w)
+		})
+	}
+}
+
+// BenchmarkDetectorScoreScratch compares the allocating Score path against
+// ScoreScratch with a reused per-worker scratch — the engine's hot path.
+func BenchmarkDetectorScoreScratch(b *testing.B) {
+	s, frames := engineFixture(b)
+	cfg := core.DefaultConfig(s.Grid, core.SchemeSubcarrier, s.Env.RX.Offsets())
+	profile, err := core.Calibrate(cfg, frames[:100])
+	if err != nil {
+		b.Fatal(err)
+	}
+	det, err := core.NewDetector(cfg, profile)
+	if err != nil {
+		b.Fatal(err)
+	}
+	window := frames[100:125]
+	b.Run("alloc", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := det.Score(window); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("scratch", func(b *testing.B) {
+		sc := core.NewScratch()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := det.ScoreScratch(window, sc); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // --- Ablations (DESIGN.md §5) ------------------------------------------

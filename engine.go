@@ -1,0 +1,129 @@
+package mlink
+
+import (
+	"context"
+	"fmt"
+
+	"mlink/internal/body"
+	"mlink/internal/engine"
+)
+
+// Fleet-level types, re-exported from the internal engine so facade users
+// can monitor many links without reaching into internal packages.
+type (
+	// SiteVerdict is the fused presence verdict over all monitored links.
+	SiteVerdict = engine.SiteVerdict
+	// LinkDecision pairs a link ID with its latest decision.
+	LinkDecision = engine.LinkDecision
+	// FusionPolicy combines per-link decisions into a site verdict.
+	FusionPolicy = engine.FusionPolicy
+	// KOfN fuses by counting positive links against a threshold K.
+	KOfN = engine.KOfN
+	// MaxScore fuses by the maximum threshold-normalized link score.
+	MaxScore = engine.MaxScore
+	// EngineMetrics snapshots the engine's counters.
+	EngineMetrics = engine.Metrics
+	// LinkMetrics is one link's slice of the metrics block.
+	LinkMetrics = engine.LinkMetrics
+)
+
+// EngineConfig parameterizes a multi-link Engine.
+type EngineConfig struct {
+	// Workers bounds the calibration and scoring pools (0 = GOMAXPROCS).
+	Workers int
+	// WindowSize is the monitoring window in packets (0 = 25).
+	WindowSize int
+	// Fusion is the site-verdict policy (nil = KOfN{K: 1}).
+	Fusion FusionPolicy
+	// OnDecision, when non-nil, observes every scored window. It is called
+	// from scoring workers and must be safe for concurrent use.
+	OnDecision func(linkID string, d Decision)
+}
+
+// Engine monitors a fleet of links concurrently: per-link calibration on a
+// bounded worker pool, streaming window scoring, and fused site verdicts —
+// the deployment-scale counterpart of the single-link System.
+type Engine struct {
+	eng     *engine.Engine
+	sources []*phasedSource
+}
+
+// NewEngine builds an empty fleet engine.
+func NewEngine(cfg EngineConfig) *Engine {
+	return &Engine{eng: engine.New(engine.Config{
+		Workers:    cfg.Workers,
+		WindowSize: cfg.WindowSize,
+		Fusion:     cfg.Fusion,
+		OnDecision: cfg.OnDecision,
+	})}
+}
+
+// phasedSource streams simulated captures from a System, with the link's
+// people entering the room only once calibration has finished — the §IV-C
+// calibration stage is an empty room by definition.
+type phasedSource struct {
+	sys        *System
+	bodies     []body.Body
+	monitoring bool
+}
+
+func (s *phasedSource) Next() (*Frame, error) {
+	if s.monitoring {
+		return s.sys.extractor.Capture(s.bodies), nil
+	}
+	return s.sys.extractor.Capture(nil), nil
+}
+
+// AddLink adopts a System as one monitored link under a unique ID. The
+// engine owns the system's extractor from here on — don't keep capturing
+// through the System concurrently. People, if given, stand in the room for
+// every capture after calibration (an occupied link); none means an empty
+// room.
+func (e *Engine) AddLink(id string, sys *System, people ...*Person) error {
+	if sys == nil {
+		return fmt.Errorf("mlink: nil system for link %q", id)
+	}
+	src := &phasedSource{sys: sys, bodies: bodiesOf(people)}
+	if err := e.eng.AddLink(id, sys.cfg, src); err != nil {
+		return fmt.Errorf("mlink: %w", err)
+	}
+	e.sources = append(e.sources, src)
+	return nil
+}
+
+// Links lists the fleet's link IDs in registration order.
+func (e *Engine) Links() []string { return e.eng.Links() }
+
+// Calibrate calibrates every link in parallel from n empty-room packets
+// each (plus n held-out packets for threshold calibration). On success the
+// links' people, if any, enter their rooms for subsequent monitoring.
+func (e *Engine) Calibrate(n int) error {
+	if err := e.eng.Calibrate(context.Background(), n); err != nil {
+		return fmt.Errorf("mlink calibrate: %w", err)
+	}
+	for _, src := range e.sources {
+		src.monitoring = true
+	}
+	return nil
+}
+
+// Run monitors the fleet until every link has scored windowsPerLink windows
+// (0 = until ctx is cancelled or the sources end).
+func (e *Engine) Run(ctx context.Context, windowsPerLink int) error {
+	if err := e.eng.Run(ctx, windowsPerLink); err != nil {
+		return fmt.Errorf("mlink run: %w", err)
+	}
+	return nil
+}
+
+// Verdict fuses the latest per-link decisions into the site verdict.
+func (e *Engine) Verdict() (SiteVerdict, error) {
+	v, err := e.eng.Verdict()
+	if err != nil {
+		return SiteVerdict{}, fmt.Errorf("mlink verdict: %w", err)
+	}
+	return v, nil
+}
+
+// Metrics snapshots fleet-wide and per-link monitoring counters.
+func (e *Engine) Metrics() EngineMetrics { return e.eng.Metrics() }

@@ -1,0 +1,80 @@
+package mlink_test
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"mlink"
+)
+
+// ExampleSystem_DetectPresence walks the single-link quickstart: build the
+// paper's classroom link, calibrate a static profile from empty-room
+// packets, then score a monitoring window with a person standing on the
+// line-of-sight path.
+func ExampleSystem_DetectPresence() {
+	sys, err := mlink.NewClassroomSystem(mlink.SchemeSubcarrier, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := sys.Calibrate(100); err != nil {
+		log.Fatal(err)
+	}
+
+	occupied, err := sys.DetectPresence(25, &mlink.Person{X: 3, Y: 4})
+	if err != nil {
+		log.Fatal(err)
+	}
+	empty, err := sys.DetectPresence(25)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("person on the link:", occupied.Present)
+	fmt.Println("empty room:", empty.Present)
+	// Output:
+	// person on the link: true
+	// empty room: false
+}
+
+// ExampleEngine monitors a two-link site: both links calibrate in parallel,
+// a person stands on the second link, and the per-link verdicts fuse into
+// one site-level decision.
+func ExampleEngine() {
+	eng := mlink.NewEngine(mlink.EngineConfig{
+		Workers:    4,
+		WindowSize: 25,
+		Fusion:     mlink.KOfN{K: 1},
+	})
+
+	quiet, err := mlink.NewLinkCaseSystem(3, mlink.SchemeSubcarrier, 5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	busy, err := mlink.NewLinkCaseSystem(2, mlink.SchemeSubcarrier, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	mid := busy.Scenario.LinkMidpoint()
+
+	if err := eng.AddLink("quiet", quiet); err != nil {
+		log.Fatal(err)
+	}
+	if err := eng.AddLink("busy", busy, &mlink.Person{X: mid.X, Y: mid.Y}); err != nil {
+		log.Fatal(err)
+	}
+	if err := eng.Calibrate(150); err != nil {
+		log.Fatal(err)
+	}
+	if err := eng.Run(context.Background(), 2); err != nil {
+		log.Fatal(err)
+	}
+
+	verdict, err := eng.Verdict()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("site occupied: %v (%d of %d links positive)\n",
+		verdict.Present, verdict.Positive, verdict.Total)
+	// Output:
+	// site occupied: true (1 of 2 links positive)
+}

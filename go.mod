@@ -1,0 +1,3 @@
+module mlink
+
+go 1.21

@@ -228,10 +228,21 @@ func (d *Detector) Detect(window []*csi.Frame) (Decision, error) {
 // Score computes the scheme's distance statistic for a window of M frames
 // (§IV-C monitoring stage).
 func (d *Detector) Score(window []*csi.Frame) (float64, error) {
+	return d.ScoreScratch(window, nil)
+}
+
+// ScoreScratch is Score with a caller-managed scratch buffer: a long-lived
+// worker that scores many windows passes the same non-nil *Scratch each call
+// and avoids re-allocating the per-window vectors. A nil scratch behaves
+// exactly like Score.
+func (d *Detector) ScoreScratch(window []*csi.Frame, sc *Scratch) (float64, error) {
 	if len(window) == 0 {
 		return 0, fmt.Errorf("empty monitoring window: %w", ErrBadInput)
 	}
-	prep, err := prepare(d.cfg, window)
+	if sc == nil {
+		sc = NewScratch()
+	}
+	prep, err := prepareScratch(d.cfg, window, sc)
 	if err != nil {
 		return 0, fmt.Errorf("score: %w", err)
 	}
@@ -242,11 +253,11 @@ func (d *Detector) Score(window []*csi.Frame) (float64, error) {
 	}
 	switch d.cfg.Scheme {
 	case SchemeBaseline:
-		return d.scoreBaseline(prep)
+		return d.scoreBaseline(prep, sc)
 	case SchemeSubcarrier:
-		return d.scoreSubcarrier(prep)
+		return d.scoreSubcarrier(prep, sc)
 	case SchemeSubcarrierPath:
-		return d.scoreSubcarrierPath(prep)
+		return d.scoreSubcarrierPath(prep, sc)
 	default:
 		return 0, fmt.Errorf("unknown scheme: %w", ErrBadInput)
 	}
@@ -254,12 +265,12 @@ func (d *Detector) Score(window []*csi.Frame) (float64, error) {
 
 // scoreBaseline: normalized Euclidean distance of mean CSI amplitudes,
 // averaged across antennas.
-func (d *Detector) scoreBaseline(window []*csi.Frame) (float64, error) {
+func (d *Detector) scoreBaseline(window []*csi.Frame, sc *Scratch) (float64, error) {
 	nAnt := window[0].NumAntennas()
 	nSub := window[0].NumSubcarriers()
 	var total float64
 	for ant := 0; ant < nAnt; ant++ {
-		mean := make([]float64, nSub)
+		mean := sc.accumulator(nSub)
 		for _, f := range window {
 			for k := 0; k < nSub; k++ {
 				re, im := real(f.CSI[ant][k]), imag(f.CSI[ant][k])
@@ -281,18 +292,18 @@ func (d *Detector) scoreBaseline(window []*csi.Frame) (float64, error) {
 }
 
 // windowWeights derives the subcarrier weights from the monitoring window's
-// multipath factors, per antenna.
-func (d *Detector) windowWeights(window []*csi.Frame) ([][]float64, error) {
+// multipath factors, per antenna. The multipath-factor rows live in the
+// scratch and are only valid until its next use.
+func (d *Detector) windowWeights(window []*csi.Frame, sc *Scratch) ([][]float64, error) {
 	nAnt := window[0].NumAntennas()
-	perAnt := make([][]float64, nAnt)
+	nSub := window[0].NumSubcarriers()
+	perAnt := sc.perAntenna(nAnt)
 	for ant := 0; ant < nAnt; ant++ {
-		mus := make([][]float64, 0, len(window))
-		for _, f := range window {
-			mu, err := MultipathFactors(f.CSI[ant], d.cfg.Grid)
-			if err != nil {
+		mus := sc.muRows(len(window), nSub)
+		for i, f := range window {
+			if err := sc.MultipathFactorsInto(mus[i], f.CSI[ant], d.cfg.Grid); err != nil {
 				return nil, err
 			}
-			mus = append(mus, mu)
 		}
 		if d.cfg.UsePerPacketWeights {
 			// Eq. 12 ablation: average the per-packet weights.
@@ -320,8 +331,8 @@ func (d *Detector) windowWeights(window []*csi.Frame) ([][]float64, error) {
 
 // scoreSubcarrier: Euclidean norm of the Eq. 15 weighted RSS changes,
 // averaged across antennas.
-func (d *Detector) scoreSubcarrier(window []*csi.Frame) (float64, error) {
-	weights, err := d.windowWeights(window)
+func (d *Detector) scoreSubcarrier(window []*csi.Frame, sc *Scratch) (float64, error) {
+	weights, err := d.windowWeights(window, sc)
 	if err != nil {
 		return 0, err
 	}
@@ -329,9 +340,10 @@ func (d *Detector) scoreSubcarrier(window []*csi.Frame) (float64, error) {
 	nSub := window[0].NumSubcarriers()
 	var total float64
 	for ant := 0; ant < nAnt; ant++ {
-		meanRSS := make([]float64, nSub)
+		meanRSS := sc.accumulator(nSub)
 		for _, f := range window {
-			rss := SubcarrierRSSdB(f.CSI[ant])
+			rss := sc.rssRow(nSub)
+			subcarrierRSSdBInto(rss, f.CSI[ant])
 			for k := 0; k < nSub; k++ {
 				meanRSS[k] += rss[k]
 			}
@@ -360,8 +372,8 @@ func (d *Detector) scoreSubcarrier(window []*csi.Frame) (float64, error) {
 // per-direction received power, so on-path attenuation and off-path echoes
 // both register — while the Eq. 17 path weights, derived from the static
 // MUSIC pseudospectrum at calibration, amplify the NLOS directions.
-func (d *Detector) scoreSubcarrierPath(window []*csi.Frame) (float64, error) {
-	perAnt, err := d.windowWeights(window)
+func (d *Detector) scoreSubcarrierPath(window []*csi.Frame, sc *Scratch) (float64, error) {
+	perAnt, err := d.windowWeights(window, sc)
 	if err != nil {
 		return 0, err
 	}
@@ -408,12 +420,22 @@ func toDB(s *music.Spectrum) *music.Spectrum {
 	return out
 }
 
-// prepare optionally sanitizes frames per the config.
+// prepare optionally sanitizes frames per the config. Calibrate uses this
+// allocating path because the profile retains the sanitized frames.
 func prepare(cfg Config, frames []*csi.Frame) ([]*csi.Frame, error) {
 	if !cfg.Sanitize {
 		return frames, nil
 	}
 	return sanitize.Frames(frames, cfg.Grid.Indices)
+}
+
+// prepareScratch sanitizes into scratch-owned frames, valid only until the
+// scratch's next use — the scoring hot path, where nothing outlives a call.
+func prepareScratch(cfg Config, frames []*csi.Frame, sc *Scratch) ([]*csi.Frame, error) {
+	if !cfg.Sanitize {
+		return frames, nil
+	}
+	return sc.san.Frames(frames, cfg.Grid.Indices)
 }
 
 func newEstimator(cfg Config) (*music.Estimator, error) {

@@ -1,0 +1,14 @@
+// Package core implements the paper's contribution: the multipath factor
+// (Eq. 3, 9–11), the subcarrier weighting scheme (Eq. 12–15), the MUSIC
+// path weighting scheme (Eq. 17), and the calibration/monitoring detector
+// of §IV-C with its three variants (baseline, +subcarrier weighting,
+// +subcarrier and path weighting).
+//
+// The lifecycle mirrors §IV-C: Calibrate builds a static Profile from
+// empty-room frames, NewDetector pairs it with a Config, SelfScores +
+// CalibrateThreshold fix the decision threshold from the profile's own
+// variations, and Score/Detect judge monitoring windows. Long-lived scoring
+// workers pass a reusable Scratch to ScoreScratch/DetectScratch to keep the
+// per-window hot path nearly allocation-free (internal/engine does this per
+// pool worker).
+package core

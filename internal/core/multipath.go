@@ -1,8 +1,3 @@
-// Package core implements the paper's contribution: the multipath factor
-// (Eq. 3, 9–11), the subcarrier weighting scheme (Eq. 12–15), the MUSIC
-// path weighting scheme (Eq. 17), and the calibration/monitoring detector
-// of §IV-C with its three variants (baseline, +subcarrier weighting,
-// +subcarrier and path weighting).
 package core
 
 import (
@@ -31,73 +26,22 @@ var ErrBadInput = errors.New("core: bad input")
 // μk ≈ 1 means the subcarrier is dominated by the strongest (usually LOS)
 // path; μk > 1 flags destructive multipath superposition — the sensitive
 // regime the weighting scheme exploits.
+//
+// The "dominant path" is really the leading delay cluster: a physical path
+// delay rarely falls exactly on a tap centre, so its energy leaks into
+// adjacent taps, and the strongest IDFT tap is summed with its two cyclic
+// neighbours to recover the cluster power. IDFT carries a 1/N scale, so the
+// band-total power of a flat single-path channel is N·Σ|tap|².
+// Scratch.MultipathFactorsInto implements the computation; this wrapper
+// allocates the result.
 func MultipathFactors(row []complex128, grid *channel.Grid) ([]float64, error) {
 	if grid == nil || grid.Len() == 0 {
 		return nil, fmt.Errorf("empty grid: %w", ErrBadInput)
 	}
-	if len(row) != grid.Len() {
-		return nil, fmt.Errorf("%d subcarriers for grid of %d: %w", len(row), grid.Len(), ErrBadInput)
-	}
-	n := len(row)
-
-	// Resample onto a uniform index grid (the 5300 indices skip pilots).
-	xs := make([]float64, n)
-	for i, idx := range grid.Indices {
-		xs[i] = float64(idx)
-	}
-	targets := make([]float64, n)
-	span := xs[n-1] - xs[0]
-	for i := range targets {
-		targets[i] = xs[0] + span*float64(i)/float64(n-1)
-	}
-	uniform, err := dsp.InterpolateComplex(xs, row, targets)
-	if err != nil {
-		return nil, fmt.Errorf("resample: %w", err)
-	}
-
-	// Dominant-path power: the paper approximates it by "the power of the
-	// dominant paths across all subcarriers |ĥ(0)|²" (plural — the leading
-	// delay cluster). A physical path delay rarely falls exactly on a tap
-	// centre, so its energy leaks into adjacent taps; summing the dominant
-	// tap with its two cyclic neighbours recovers the cluster power. IDFT
-	// carries a 1/N scale, so the band-total power of a flat single-path
-	// channel is N·Σ|tap|².
-	taps := dsp.IDFT(uniform)
-	powers := make([]float64, n)
-	best := 0
-	for i, tap := range taps {
-		re, im := real(tap), imag(tap)
-		powers[i] = re*re + im*im
-		if powers[i] > powers[best] {
-			best = i
-		}
-	}
-	cluster := powers[best]
-	if n > 1 {
-		cluster += powers[(best+1)%n] + powers[(best-1+n)%n]
-	}
-	pDom := float64(n) * cluster
-
-	// Frequency-dependent split of the dominant-path power (Eq. 10).
-	freqs := grid.Frequencies()
-	var invSq float64
-	for _, f := range freqs {
-		invSq += 1 / (f * f)
-	}
-	if invSq <= 0 {
-		return nil, fmt.Errorf("degenerate frequency grid: %w", ErrBadInput)
-	}
-
-	mu := make([]float64, n)
-	for k, v := range row {
-		re, im := real(v), imag(v)
-		p := re*re + im*im
-		if p <= 0 {
-			mu[k] = 0
-			continue
-		}
-		pl := (1 / (freqs[k] * freqs[k])) / invSq * pDom
-		mu[k] = pl / p
+	mu := make([]float64, grid.Len())
+	var sc Scratch
+	if err := sc.MultipathFactorsInto(mu, row, grid); err != nil {
+		return nil, err
 	}
 	return mu, nil
 }

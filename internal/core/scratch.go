@@ -1,0 +1,203 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"mlink/internal/channel"
+	"mlink/internal/csi"
+	"mlink/internal/dsp"
+	"mlink/internal/sanitize"
+)
+
+// Scratch holds reusable buffers for the detector's per-window hot path, so
+// a long-lived scoring worker (e.g. one goroutine of the engine's pool) can
+// score windows without re-allocating the multipath-factor, RSS and mean
+// vectors on every call. A Scratch also caches the grid-derived constants of
+// Eq. 10 (resampling targets, subcarrier frequencies, Σf⁻²), which are
+// identical for every packet on a link.
+//
+// A Scratch must not be shared between goroutines; give each worker its own.
+// The zero value is ready to use.
+type Scratch struct {
+	// Cached per-grid constants (rebuilt when the grid changes).
+	grid    *channel.Grid
+	xs      []float64
+	targets []float64
+	freqs   []float64
+	invSq   float64
+
+	// Reusable multipath-factor buffers.
+	uniform []complex128
+	taps    []complex128
+	powers  []float64
+
+	// Reusable detector buffers.
+	acc  []float64   // per-subcarrier accumulator (mean amplitude / RSS)
+	row  []float64   // one frame's RSS row
+	mus  [][]float64 // window multipath factors, [packet][subcarrier]
+	pant [][]float64 // per-antenna weight vectors
+
+	// Reusable sanitized-window frames.
+	san sanitize.Scratch
+}
+
+// NewScratch returns an empty scratch; buffers grow on first use.
+func NewScratch() *Scratch { return &Scratch{} }
+
+// bindGrid (re)computes the grid-derived constants of MultipathFactors.
+func (sc *Scratch) bindGrid(grid *channel.Grid) {
+	if sc.grid == grid {
+		return
+	}
+	n := grid.Len()
+	sc.xs = growFloats(&sc.xs, n)
+	for i, idx := range grid.Indices {
+		sc.xs[i] = float64(idx)
+	}
+	sc.targets = growFloats(&sc.targets, n)
+	span := sc.xs[n-1] - sc.xs[0]
+	for i := range sc.targets {
+		sc.targets[i] = sc.xs[0] + span*float64(i)/float64(n-1)
+	}
+	sc.freqs = append(sc.freqs[:0], grid.Frequencies()...)
+	sc.invSq = 0
+	for _, f := range sc.freqs {
+		sc.invSq += 1 / (f * f)
+	}
+	sc.grid = grid
+}
+
+// MultipathFactorsInto computes the Eq. 11 multipath factors of one
+// antenna's CSI row into dst (len = grid.Len()), reusing the scratch
+// buffers. It is the allocation-free core of MultipathFactors.
+func (sc *Scratch) MultipathFactorsInto(dst []float64, row []complex128, grid *channel.Grid) error {
+	if grid == nil || grid.Len() == 0 {
+		return fmt.Errorf("empty grid: %w", ErrBadInput)
+	}
+	if len(row) != grid.Len() {
+		return fmt.Errorf("%d subcarriers for grid of %d: %w", len(row), grid.Len(), ErrBadInput)
+	}
+	if len(dst) != grid.Len() {
+		return fmt.Errorf("dst of %d for grid of %d: %w", len(dst), grid.Len(), ErrBadInput)
+	}
+	n := len(row)
+	sc.bindGrid(grid)
+
+	// Resample onto a uniform index grid (the 5300 indices skip pilots).
+	sc.uniform = growComplexes(&sc.uniform, n)
+	if err := dsp.InterpolateComplexInto(sc.uniform, sc.xs, row, sc.targets); err != nil {
+		return fmt.Errorf("resample: %w", err)
+	}
+
+	// Dominant-path cluster power via the strongest IDFT tap and its two
+	// cyclic neighbours (see MultipathFactors for the derivation).
+	sc.taps = growComplexes(&sc.taps, n)
+	dsp.IDFTInto(sc.taps, sc.uniform)
+	sc.powers = growFloats(&sc.powers, n)
+	best := 0
+	for i, tap := range sc.taps {
+		re, im := real(tap), imag(tap)
+		sc.powers[i] = re*re + im*im
+		if sc.powers[i] > sc.powers[best] {
+			best = i
+		}
+	}
+	cluster := sc.powers[best]
+	if n > 1 {
+		cluster += sc.powers[(best+1)%n] + sc.powers[(best-1+n)%n]
+	}
+	pDom := float64(n) * cluster
+
+	if sc.invSq <= 0 {
+		return fmt.Errorf("degenerate frequency grid: %w", ErrBadInput)
+	}
+	for k, v := range row {
+		re, im := real(v), imag(v)
+		p := re*re + im*im
+		if p <= 0 {
+			dst[k] = 0
+			continue
+		}
+		pl := (1 / (sc.freqs[k] * sc.freqs[k])) / sc.invSq * pDom
+		dst[k] = pl / p
+	}
+	return nil
+}
+
+// accumulator returns the zeroed per-subcarrier accumulator.
+func (sc *Scratch) accumulator(n int) []float64 {
+	sc.acc = growFloats(&sc.acc, n)
+	for i := range sc.acc {
+		sc.acc[i] = 0
+	}
+	return sc.acc
+}
+
+// rssRow returns the reusable single-frame RSS buffer.
+func (sc *Scratch) rssRow(n int) []float64 {
+	sc.row = growFloats(&sc.row, n)
+	return sc.row
+}
+
+// muRows returns m reusable rows of n multipath factors.
+func (sc *Scratch) muRows(m, n int) [][]float64 {
+	if cap(sc.mus) < m {
+		next := make([][]float64, m)
+		copy(next, sc.mus[:cap(sc.mus)])
+		sc.mus = next
+	}
+	sc.mus = sc.mus[:m]
+	for i := range sc.mus {
+		sc.mus[i] = growFloats(&sc.mus[i], n)
+	}
+	return sc.mus
+}
+
+// perAntenna returns the reusable per-antenna weight-vector table.
+func (sc *Scratch) perAntenna(nAnt int) [][]float64 {
+	if cap(sc.pant) < nAnt {
+		sc.pant = make([][]float64, nAnt)
+	}
+	sc.pant = sc.pant[:nAnt]
+	return sc.pant
+}
+
+func growFloats(buf *[]float64, n int) []float64 {
+	if cap(*buf) < n {
+		*buf = make([]float64, n)
+	}
+	*buf = (*buf)[:n]
+	return *buf
+}
+
+func growComplexes(buf *[]complex128, n int) []complex128 {
+	if cap(*buf) < n {
+		*buf = make([]complex128, n)
+	}
+	*buf = (*buf)[:n]
+	return *buf
+}
+
+// subcarrierRSSdBInto is SubcarrierRSSdB writing into a caller buffer.
+func subcarrierRSSdBInto(dst []float64, row []complex128) {
+	for k, v := range row {
+		re, im := real(v), imag(v)
+		p := re*re + im*im
+		if p <= 0 {
+			dst[k] = math.Inf(-1)
+			continue
+		}
+		dst[k] = 10 * math.Log10(p)
+	}
+}
+
+// DetectScratch is Detect with a caller-managed scratch (nil is allowed and
+// behaves like Detect).
+func (d *Detector) DetectScratch(window []*csi.Frame, sc *Scratch) (Decision, error) {
+	score, err := d.ScoreScratch(window, sc)
+	if err != nil {
+		return Decision{}, err
+	}
+	return Decision{Present: score > d.threshold, Score: score, Threshold: d.threshold}, nil
+}

@@ -1,0 +1,16 @@
+// Package csinet is the distributed CSI collection layer: it plays the role
+// the Linux CSI Tool's netlink/socket export plays in the paper's testbed
+// (§V-A), but over TCP so a receiver daemon (cmd/csid) can stream CSI
+// frames to a detached detector process (cmd/mlink-detect), or feed links
+// of the multi-link monitoring engine (internal/engine) on another host.
+//
+// Wire format: every message is
+//
+//	magic(4) | version(1) | type(1) | payloadLen(4, big endian) | payload | crc32(4)
+//
+// with the IEEE CRC-32 computed over the payload. Streams open with a Hello
+// message describing the link (centre frequency, antenna count, subcarrier
+// indices) followed by Frame messages; Heartbeats keep idle streams alive.
+// Server serves a fresh Source per accepted connection; Client.Recv yields
+// decoded frames and surfaces a clean end of stream as io.EOF.
+package csinet

@@ -1,15 +1,3 @@
-// Package csinet is the distributed CSI collection layer: it plays the role
-// the Linux CSI Tool's netlink/socket export plays in the paper's testbed,
-// but over TCP so a receiver daemon (cmd/csid) can stream CSI frames to a
-// detached detector process (cmd/mlink-detect) on another host.
-//
-// Wire format: every message is
-//
-//	magic(4) | version(1) | type(1) | payloadLen(4, big endian) | payload | crc32(4)
-//
-// with the IEEE CRC-32 computed over the payload. Streams open with a Hello
-// message describing the link (centre frequency, antenna count, subcarrier
-// indices) followed by Frame messages; Heartbeats keep idle streams alive.
 package csinet
 
 import (

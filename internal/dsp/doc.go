@@ -1,0 +1,11 @@
+// Package dsp provides the scalar signal-processing toolbox used across the
+// repository: descriptive statistics, empirical CDFs, discrete Fourier
+// transforms, phase unwrapping, and least-squares fits (linear and
+// logarithmic — the Fig. 3b/3c relationship). Everything operates on plain
+// float64/complex128 slices.
+//
+// Hot-path callers (the Eq. 11 multipath factor in internal/core, phase
+// sanitization in internal/sanitize) use the *Into/*InPlace variants
+// (IDFTInto, InterpolateComplexInto, UnwrapInPlace) with caller-owned
+// buffers; the allocating forms delegate to them.
+package dsp

@@ -27,23 +27,35 @@ func DFT(x []complex128) []complex128 {
 // IDFT computes the inverse discrete Fourier transform with 1/N scaling so
 // that IDFT(DFT(x)) == x.
 func IDFT(x []complex128) []complex128 {
+	out := make([]complex128, len(x))
+	IDFTInto(out, x)
+	return out
+}
+
+// IDFTInto is IDFT writing into a caller-provided buffer of len(x), for
+// allocation-free hot paths. dst and x must not alias.
+func IDFTInto(dst, x []complex128) {
 	n := len(x)
-	out := make([]complex128, n)
 	for k := 0; k < n; k++ {
 		var sum complex128
 		for t := 0; t < n; t++ {
 			angle := 2 * math.Pi * float64(k) * float64(t) / float64(n)
 			sum += x[t] * cmplx.Exp(complex(0, angle))
 		}
-		out[k] = sum / complex(float64(n), 0)
+		dst[k] = sum / complex(float64(n), 0)
 	}
-	return out
 }
 
 // Unwrap removes 2π discontinuities from a phase sequence in place-order
 // (the input is not modified; a corrected copy is returned).
 func Unwrap(phase []float64) []float64 {
 	out := append([]float64(nil), phase...)
+	return UnwrapInPlace(out)
+}
+
+// UnwrapInPlace is Unwrap mutating its argument, for allocation-free hot
+// paths. It returns the slice for convenience.
+func UnwrapInPlace(out []float64) []float64 {
 	for i := 1; i < len(out); i++ {
 		d := out[i] - out[i-1]
 		for d > math.Pi {
@@ -62,18 +74,27 @@ func Unwrap(phase []float64) []float64 {
 // increasing) onto targets. Targets outside [xs[0], xs[last]] are clamped to
 // the boundary values.
 func InterpolateComplex(xs []float64, ys []complex128, targets []float64) ([]complex128, error) {
+	out := make([]complex128, len(targets))
+	if err := InterpolateComplexInto(out, xs, ys, targets); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// InterpolateComplexInto is InterpolateComplex writing into a caller-provided
+// buffer of len(targets), for allocation-free hot paths.
+func InterpolateComplexInto(out []complex128, xs []float64, ys []complex128, targets []float64) error {
 	if len(xs) != len(ys) {
-		return nil, fmt.Errorf("interpolate: %d xs vs %d ys", len(xs), len(ys))
+		return fmt.Errorf("interpolate: %d xs vs %d ys", len(xs), len(ys))
 	}
 	if len(xs) == 0 {
-		return nil, fmt.Errorf("interpolate: %w", ErrEmptyInput)
+		return fmt.Errorf("interpolate: %w", ErrEmptyInput)
 	}
 	for i := 1; i < len(xs); i++ {
 		if xs[i] <= xs[i-1] {
-			return nil, fmt.Errorf("interpolate: xs not strictly increasing at %d", i)
+			return fmt.Errorf("interpolate: xs not strictly increasing at %d", i)
 		}
 	}
-	out := make([]complex128, len(targets))
 	for i, t := range targets {
 		switch {
 		case t <= xs[0]:
@@ -95,7 +116,7 @@ func InterpolateComplex(xs []float64, ys []complex128, targets []float64) ([]com
 			out[i] = ys[lo]*complex(1-frac, 0) + ys[hi]*complex(frac, 0)
 		}
 	}
-	return out, nil
+	return nil
 }
 
 // MovingAverage smooths xs with a centered window of the given odd width.

@@ -1,7 +1,3 @@
-// Package dsp provides the scalar signal-processing toolbox used across the
-// repository: descriptive statistics, empirical CDFs, discrete Fourier
-// transforms, phase unwrapping, and least-squares fits (linear and
-// logarithmic). Everything operates on plain float64/complex128 slices.
 package dsp
 
 import (

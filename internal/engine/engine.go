@@ -1,0 +1,499 @@
+// Package engine is the concurrent multi-link monitoring engine: it manages
+// a fleet of WiFi links end-to-end the way the paper's deployment story
+// (§IV–§V) prescribes — assess and calibrate each link's static profile,
+// then monitor every link continuously and fuse the per-link verdicts into
+// one site-level presence decision.
+//
+// Calibration runs per link in parallel on a bounded worker pool. During
+// monitoring, one assembler goroutine per link slices the link's frame
+// stream (a csinet client, a simulated extractor, or a recorded replay)
+// into fixed-size windows and feeds a shared scoring pool whose workers
+// reuse per-worker core.Scratch buffers, keeping the hot path free of
+// per-window allocations. Per-link core.Decisions are fused by a pluggable
+// FusionPolicy (k-of-n, max-score), and a snapshotable Metrics block tracks
+// windows scored, scoring throughput and per-link mean multipath factor μ.
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mlink/internal/core"
+	"mlink/internal/csi"
+)
+
+// Engine errors.
+var (
+	// ErrNoLinks is returned by fleet-wide operations on an empty fleet.
+	ErrNoLinks = errors.New("engine: no links")
+	// ErrNotCalibrated is returned by Run when a link has no detector yet.
+	ErrNotCalibrated = errors.New("engine: link not calibrated")
+	// ErrRunning rejects fleet mutation while Run is active.
+	ErrRunning = errors.New("engine: engine is running")
+	// ErrDuplicateLink rejects reuse of a link ID.
+	ErrDuplicateLink = errors.New("engine: duplicate link id")
+	// ErrUnknownLink reports an ID that is not in the fleet.
+	ErrUnknownLink = errors.New("engine: unknown link")
+)
+
+// Config parameterizes an Engine.
+type Config struct {
+	// Workers bounds the calibration and scoring pools (default GOMAXPROCS).
+	Workers int
+	// WindowSize is the monitoring window in packets (default 25, the
+	// paper's operating point at 50 packets/s).
+	WindowSize int
+	// ThresholdQuantile and ThresholdMargin parameterize per-link threshold
+	// calibration from held-out self scores (defaults 0.95 and 1.3, as the
+	// facade uses).
+	ThresholdQuantile float64
+	ThresholdMargin   float64
+	// Fusion combines per-link decisions into a site verdict (default
+	// KOfN{K: 1}: any positive link trips the site).
+	Fusion FusionPolicy
+	// OnDecision, when non-nil, is invoked from scoring workers after every
+	// scored window. It must be safe for concurrent use and fast.
+	OnDecision func(linkID string, d core.Decision)
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.WindowSize <= 0 {
+		c.WindowSize = 25
+	}
+	if c.ThresholdQuantile <= 0 || c.ThresholdQuantile > 1 {
+		c.ThresholdQuantile = 0.95
+	}
+	if c.ThresholdMargin <= 0 {
+		c.ThresholdMargin = 1.3
+	}
+	if c.Fusion == nil {
+		c.Fusion = KOfN{K: 1}
+	}
+	return c
+}
+
+// link is one monitored TX–RX pair.
+type link struct {
+	id  string
+	cfg core.Config
+	src Source
+
+	mu       sync.Mutex
+	det      *core.Detector
+	meanMu   float64
+	last     core.Decision
+	decided  bool
+	windows  uint64
+	scoreSum float64
+}
+
+// Engine monitors a fleet of links concurrently.
+type Engine struct {
+	cfg Config
+
+	mu       sync.Mutex
+	links    []*link
+	byID     map[string]*link
+	running  bool
+	runStart time.Time
+
+	windowsScored atomic.Uint64
+	framesSeen    atomic.Uint64
+	runNanos      atomic.Int64
+
+	windowPool sync.Pool
+}
+
+// New builds an engine; zero-valued config fields take defaults.
+func New(cfg Config) *Engine {
+	cfg = cfg.withDefaults()
+	e := &Engine{cfg: cfg, byID: make(map[string]*link)}
+	e.windowPool.New = func() any {
+		s := make([]*csi.Frame, 0, cfg.WindowSize)
+		return &s
+	}
+	return e
+}
+
+// WindowSize reports the effective monitoring window in packets.
+func (e *Engine) WindowSize() int { return e.cfg.WindowSize }
+
+// AddLink registers a link under a unique ID. The source is owned by the
+// engine from here on: calibration and monitoring both draw frames from it,
+// always from a single goroutine at a time.
+func (e *Engine) AddLink(id string, cfg core.Config, src Source) error {
+	if id == "" {
+		return fmt.Errorf("empty link id: %w", ErrUnknownLink)
+	}
+	if src == nil {
+		return fmt.Errorf("link %s: nil source", id)
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.running {
+		return ErrRunning
+	}
+	if _, ok := e.byID[id]; ok {
+		return fmt.Errorf("%w: %s", ErrDuplicateLink, id)
+	}
+	l := &link{id: id, cfg: cfg, src: src}
+	e.links = append(e.links, l)
+	e.byID[id] = l
+	return nil
+}
+
+// Links lists the fleet's link IDs in registration order.
+func (e *Engine) Links() []string {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]string, len(e.links))
+	for i, l := range e.links {
+		out[i] = l.id
+	}
+	return out
+}
+
+func (e *Engine) snapshot() []*link {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return append([]*link(nil), e.links...)
+}
+
+// pull reads n frames from a source, counting them into the metrics.
+func (e *Engine) pull(ctx context.Context, src Source, dst []*csi.Frame, n int) ([]*csi.Frame, error) {
+	for len(dst) < n {
+		if err := ctx.Err(); err != nil {
+			return dst, err
+		}
+		f, err := src.Next()
+		if err != nil {
+			return dst, err
+		}
+		e.framesSeen.Add(1)
+		dst = append(dst, f)
+	}
+	return dst, nil
+}
+
+// Calibrate calibrates every link in parallel on the worker pool: n
+// profile frames plus n held-out frames are drawn from each link's source,
+// a static profile and detector are built (§IV-C calibration stage), the
+// decision threshold is set from the held-out self scores, and the link's
+// mean multipath factor μ is recorded for the metrics block. n is raised to
+// cover at least two self-score windows.
+func (e *Engine) Calibrate(ctx context.Context, n int) error {
+	e.mu.Lock()
+	if e.running {
+		e.mu.Unlock()
+		return ErrRunning
+	}
+	links := append([]*link(nil), e.links...)
+	e.mu.Unlock()
+	if len(links) == 0 {
+		return ErrNoLinks
+	}
+	if n < 2*e.cfg.WindowSize {
+		n = 2 * e.cfg.WindowSize
+	}
+	if n < 50 {
+		n = 50
+	}
+	return e.forEach(ctx, links, func(ctx context.Context, l *link) error {
+		return e.calibrateLink(ctx, l, n)
+	})
+}
+
+// forEach runs fn over links with at most cfg.Workers in flight; it waits
+// for all and returns the first error.
+func (e *Engine) forEach(ctx context.Context, links []*link, fn func(context.Context, *link) error) error {
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	sem := make(chan struct{}, e.cfg.Workers)
+	errs := make(chan error, len(links))
+	var wg sync.WaitGroup
+	for _, l := range links {
+		wg.Add(1)
+		go func(l *link) {
+			defer wg.Done()
+			select {
+			case sem <- struct{}{}:
+			case <-ctx.Done():
+				errs <- ctx.Err()
+				return
+			}
+			defer func() { <-sem }()
+			if err := fn(ctx, l); err != nil {
+				errs <- fmt.Errorf("link %s: %w", l.id, err)
+				cancel()
+			}
+		}(l)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil && !errors.Is(err, context.Canceled) {
+			return err
+		}
+	}
+	return ctx.Err()
+}
+
+func (e *Engine) calibrateLink(ctx context.Context, l *link, n int) error {
+	cal, err := e.pull(ctx, l.src, make([]*csi.Frame, 0, n), n)
+	if err != nil {
+		return fmt.Errorf("calibration capture: %w", err)
+	}
+	profile, err := core.Calibrate(l.cfg, cal)
+	if err != nil {
+		return err
+	}
+	det, err := core.NewDetector(l.cfg, profile)
+	if err != nil {
+		return err
+	}
+	holdout, err := e.pull(ctx, l.src, make([]*csi.Frame, 0, n), n)
+	if err != nil {
+		return fmt.Errorf("holdout capture: %w", err)
+	}
+	null, err := det.SelfScores(holdout, e.cfg.WindowSize, e.cfg.WindowSize)
+	if err != nil {
+		return err
+	}
+	if _, err := det.CalibrateThreshold(null, e.cfg.ThresholdQuantile, e.cfg.ThresholdMargin); err != nil {
+		return err
+	}
+	meanMu, err := linkMeanMu(cal, l.cfg)
+	if err != nil {
+		return err
+	}
+	l.mu.Lock()
+	l.det = det
+	l.meanMu = meanMu
+	l.mu.Unlock()
+	return nil
+}
+
+// linkMeanMu averages the mean multipath factor over up to 25 calibration
+// frames — the §IV-A deployment-assessment metric surfaced per link in the
+// metrics block.
+func linkMeanMu(frames []*csi.Frame, cfg core.Config) (float64, error) {
+	const maxFrames = 25
+	if len(frames) > maxFrames {
+		frames = frames[:maxFrames]
+	}
+	ant := 0
+	if frames[0].NumAntennas() > 1 {
+		ant = 1
+	}
+	sc := core.NewScratch()
+	mu := make([]float64, cfg.Grid.Len())
+	var acc float64
+	for _, f := range frames {
+		if err := sc.MultipathFactorsInto(mu, f.CSI[ant], cfg.Grid); err != nil {
+			return 0, fmt.Errorf("assess: %w", err)
+		}
+		m, err := core.MeanMultipathFactor(mu)
+		if err != nil {
+			return 0, fmt.Errorf("assess: %w", err)
+		}
+		acc += m
+	}
+	return acc / float64(len(frames)), nil
+}
+
+// scoreJob is one window awaiting a pool worker.
+type scoreJob struct {
+	l      *link
+	window *[]*csi.Frame
+}
+
+// Run monitors the whole fleet until every link has scored windowsPerLink
+// windows (0 = until its source ends or ctx is cancelled). Each link gets an
+// assembler goroutine slicing its stream into windows; scoring fans out over
+// the shared worker pool. Every link must be calibrated first.
+func (e *Engine) Run(ctx context.Context, windowsPerLink int) error {
+	links := e.snapshot()
+	if len(links) == 0 {
+		return ErrNoLinks
+	}
+	for _, l := range links {
+		l.mu.Lock()
+		calibrated := l.det != nil
+		l.mu.Unlock()
+		if !calibrated {
+			return fmt.Errorf("%w: %s", ErrNotCalibrated, l.id)
+		}
+	}
+	e.mu.Lock()
+	if e.running {
+		e.mu.Unlock()
+		return ErrRunning
+	}
+	e.running = true
+	e.runStart = time.Now()
+	e.mu.Unlock()
+	defer func() {
+		e.mu.Lock()
+		e.runNanos.Add(int64(time.Since(e.runStart)))
+		e.running = false
+		e.mu.Unlock()
+	}()
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	jobs := make(chan scoreJob)
+
+	// First-error recorder: goroutines may fail any number of times (a
+	// worker keeps draining jobs after an error), so errors are folded into
+	// one slot rather than sent on a channel that could fill and block.
+	var (
+		errMu    sync.Mutex
+		firstErr error
+	)
+	fail := func(err error) {
+		if err == nil || errors.Is(err, context.Canceled) {
+			return
+		}
+		errMu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		errMu.Unlock()
+		cancel()
+	}
+
+	var workers sync.WaitGroup
+	for i := 0; i < e.cfg.Workers; i++ {
+		workers.Add(1)
+		go func() {
+			defer workers.Done()
+			sc := core.NewScratch()
+			for job := range jobs {
+				fail(e.score(job, sc))
+			}
+		}()
+	}
+
+	var assemblers sync.WaitGroup
+	for _, l := range links {
+		assemblers.Add(1)
+		go func(l *link) {
+			defer assemblers.Done()
+			if err := e.assemble(ctx, l, windowsPerLink, jobs); err != nil {
+				fail(fmt.Errorf("link %s: %w", l.id, err))
+			}
+		}(l)
+	}
+
+	assemblers.Wait()
+	close(jobs)
+	workers.Wait()
+	errMu.Lock()
+	defer errMu.Unlock()
+	return firstErr
+}
+
+// assemble slices one link's stream into windows and submits them for
+// scoring. A clean end of stream (io.EOF) stops the link without error.
+func (e *Engine) assemble(ctx context.Context, l *link, windowsPerLink int, jobs chan<- scoreJob) error {
+	for w := 0; windowsPerLink <= 0 || w < windowsPerLink; w++ {
+		buf := e.windowPool.Get().(*[]*csi.Frame)
+		*buf = (*buf)[:0]
+		var err error
+		*buf, err = e.pull(ctx, l.src, *buf, e.cfg.WindowSize)
+		if err != nil {
+			e.windowPool.Put(buf)
+			if errors.Is(err, io.EOF) || errors.Is(err, context.Canceled) {
+				return nil
+			}
+			return err
+		}
+		select {
+		case jobs <- scoreJob{l: l, window: buf}:
+		case <-ctx.Done():
+			e.windowPool.Put(buf)
+			return nil
+		}
+	}
+	return nil
+}
+
+// score runs one window through the link's detector with the worker's
+// scratch and folds the decision into the link and engine state.
+func (e *Engine) score(job scoreJob, sc *core.Scratch) error {
+	l := job.l
+	dec, err := l.det.DetectScratch(*job.window, sc)
+	*job.window = (*job.window)[:0]
+	e.windowPool.Put(job.window)
+	if err != nil {
+		return fmt.Errorf("link %s: %w", l.id, err)
+	}
+	l.mu.Lock()
+	l.last = dec
+	l.decided = true
+	l.windows++
+	l.scoreSum += dec.Score
+	l.mu.Unlock()
+	e.windowsScored.Add(1)
+	if cb := e.cfg.OnDecision; cb != nil {
+		cb(l.id, dec)
+	}
+	return nil
+}
+
+// ScoreWindow synchronously scores one externally assembled window on the
+// named link (outside the pool — for tests and ad-hoc probes).
+func (e *Engine) ScoreWindow(linkID string, window []*csi.Frame) (core.Decision, error) {
+	e.mu.Lock()
+	l, ok := e.byID[linkID]
+	e.mu.Unlock()
+	if !ok {
+		return core.Decision{}, fmt.Errorf("%w: %s", ErrUnknownLink, linkID)
+	}
+	l.mu.Lock()
+	det := l.det
+	l.mu.Unlock()
+	if det == nil {
+		return core.Decision{}, fmt.Errorf("%w: %s", ErrNotCalibrated, linkID)
+	}
+	dec, err := det.Detect(window)
+	if err != nil {
+		return core.Decision{}, err
+	}
+	l.mu.Lock()
+	l.last = dec
+	l.decided = true
+	l.windows++
+	l.scoreSum += dec.Score
+	l.mu.Unlock()
+	e.windowsScored.Add(1)
+	e.framesSeen.Add(uint64(len(window)))
+	return dec, nil
+}
+
+// Verdict fuses the latest decision of every link that has scored at least
+// one window into a site-level verdict under the configured policy.
+func (e *Engine) Verdict() (SiteVerdict, error) {
+	links := e.snapshot()
+	if len(links) == 0 {
+		return SiteVerdict{}, ErrNoLinks
+	}
+	decisions := make([]LinkDecision, 0, len(links))
+	for _, l := range links {
+		l.mu.Lock()
+		if l.decided {
+			decisions = append(decisions, LinkDecision{LinkID: l.id, Decision: l.last})
+		}
+		l.mu.Unlock()
+	}
+	return e.cfg.Fusion.Fuse(decisions)
+}

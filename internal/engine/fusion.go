@@ -1,0 +1,127 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+
+	"mlink/internal/core"
+)
+
+// ErrNoDecisions is returned when fusion is attempted before any link has
+// scored a window.
+var ErrNoDecisions = errors.New("engine: no link decisions yet")
+
+// LinkDecision pairs a link ID with its latest monitoring decision.
+type LinkDecision struct {
+	LinkID string
+	core.Decision
+}
+
+// SiteVerdict is the fused, site-level presence verdict over all monitored
+// links — the deployment-level answer RASID-style systems report.
+type SiteVerdict struct {
+	// Present is the fused decision.
+	Present bool
+	// Score is the policy's fused statistic: the positive-link fraction for
+	// KOfN, the maximum normalized score for MaxScore.
+	Score float64
+	// Positive and Total count links voting present and links fused.
+	Positive, Total int
+	// Policy names the fusion policy that produced the verdict.
+	Policy string
+	// Links holds the per-link decisions the verdict was fused from.
+	Links []LinkDecision
+}
+
+// FusionPolicy combines per-link decisions into one site verdict.
+type FusionPolicy interface {
+	// Fuse returns the site verdict for a snapshot of link decisions. It
+	// must return ErrNoDecisions (possibly wrapped) for an empty snapshot.
+	Fuse(decisions []LinkDecision) (SiteVerdict, error)
+	// String names the policy for logs and metrics.
+	String() string
+}
+
+// KOfN declares the site occupied when at least K of the N fused links vote
+// present. K ≤ 0 selects a strict majority (N/2+1); K > N is clamped to N
+// (unanimity). A tie — exactly K positive links — is a detection: the
+// threshold is inclusive.
+type KOfN struct{ K int }
+
+// String implements FusionPolicy.
+func (p KOfN) String() string {
+	if p.K <= 0 {
+		return "majority"
+	}
+	return fmt.Sprintf("%d-of-n", p.K)
+}
+
+// Fuse implements FusionPolicy.
+func (p KOfN) Fuse(decisions []LinkDecision) (SiteVerdict, error) {
+	n := len(decisions)
+	if n == 0 {
+		return SiteVerdict{}, ErrNoDecisions
+	}
+	k := p.K
+	if k <= 0 {
+		k = n/2 + 1
+	}
+	if k > n {
+		k = n
+	}
+	positive := 0
+	for _, d := range decisions {
+		if d.Present {
+			positive++
+		}
+	}
+	return SiteVerdict{
+		Present:  positive >= k,
+		Score:    float64(positive) / float64(n),
+		Positive: positive,
+		Total:    n,
+		Policy:   p.String(),
+		Links:    decisions,
+	}, nil
+}
+
+// MaxScore declares the site occupied when any link's score clears its own
+// threshold, and reports the fleet's maximum threshold-normalized score —
+// the most sensitive-link view, useful when a person can only perturb one
+// link at a time.
+type MaxScore struct{}
+
+// String implements FusionPolicy.
+func (MaxScore) String() string { return "max-score" }
+
+// Fuse implements FusionPolicy.
+func (MaxScore) Fuse(decisions []LinkDecision) (SiteVerdict, error) {
+	n := len(decisions)
+	if n == 0 {
+		return SiteVerdict{}, ErrNoDecisions
+	}
+	var best float64
+	positive := 0
+	present := false
+	for i, d := range decisions {
+		r := d.Score
+		if d.Threshold > 0 {
+			r = d.Score / d.Threshold
+		}
+		if i == 0 || r > best {
+			best = r
+		}
+		if d.Present {
+			positive++
+			present = true
+		}
+	}
+	return SiteVerdict{
+		Present:  present,
+		Score:    best,
+		Positive: positive,
+		Total:    n,
+		Policy:   MaxScore{}.String(),
+		Links:    decisions,
+	}, nil
+}

@@ -1,0 +1,100 @@
+package engine
+
+import (
+	"errors"
+	"testing"
+
+	"mlink/internal/core"
+)
+
+func dec(id string, present bool, score, threshold float64) LinkDecision {
+	return LinkDecision{LinkID: id, Decision: core.Decision{Present: present, Score: score, Threshold: threshold}}
+}
+
+func TestKOfNEmptyFleet(t *testing.T) {
+	if _, err := (KOfN{K: 1}).Fuse(nil); !errors.Is(err, ErrNoDecisions) {
+		t.Fatalf("empty fuse: %v, want ErrNoDecisions", err)
+	}
+}
+
+func TestKOfNSingleLink(t *testing.T) {
+	for _, present := range []bool{true, false} {
+		v, err := (KOfN{K: 1}).Fuse([]LinkDecision{dec("a", present, 2, 1)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v.Present != present || v.Total != 1 {
+			t.Fatalf("single-link verdict %+v for present=%v", v, present)
+		}
+	}
+}
+
+func TestKOfNTieAtK(t *testing.T) {
+	// Exactly K positive links is a detection (inclusive threshold).
+	d := []LinkDecision{
+		dec("a", true, 2, 1),
+		dec("b", true, 2, 1),
+		dec("c", false, 0.5, 1),
+	}
+	v, err := (KOfN{K: 2}).Fuse(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Present || v.Positive != 2 {
+		t.Fatalf("tie at k=2 fused to %+v, want present", v)
+	}
+	// One fewer positive flips the verdict.
+	d[1] = dec("b", false, 0.5, 1)
+	if v, _ = (KOfN{K: 2}).Fuse(d); v.Present {
+		t.Fatalf("1 positive with k=2 fused to present: %+v", v)
+	}
+}
+
+func TestKOfNMajorityAndClamp(t *testing.T) {
+	d := []LinkDecision{
+		dec("a", true, 2, 1),
+		dec("b", true, 2, 1),
+		dec("c", false, 0.5, 1),
+	}
+	// K<=0 selects majority: 2 of 3 positive trips.
+	v, err := (KOfN{}).Fuse(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Present || v.Policy != "majority" {
+		t.Fatalf("majority fuse = %+v", v)
+	}
+	// K beyond the fleet clamps to unanimity.
+	if v, _ = (KOfN{K: 99}).Fuse(d); v.Present {
+		t.Fatalf("k=99 over 3 links (2 positive) fused to present: %+v", v)
+	}
+	all := []LinkDecision{dec("a", true, 2, 1), dec("b", true, 2, 1)}
+	if v, _ = (KOfN{K: 99}).Fuse(all); !v.Present {
+		t.Fatalf("k=99 clamp over 2 unanimous links fused to absent: %+v", v)
+	}
+}
+
+func TestMaxScore(t *testing.T) {
+	if _, err := (MaxScore{}).Fuse(nil); !errors.Is(err, ErrNoDecisions) {
+		t.Fatalf("empty fuse: %v, want ErrNoDecisions", err)
+	}
+	d := []LinkDecision{
+		dec("quiet", false, 0.4, 1.0),
+		dec("loud", true, 3.0, 2.0), // normalized 1.5: the fleet max
+		dec("noisy", false, 5.0, 10.0),
+	}
+	v, err := (MaxScore{}).Fuse(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Present || v.Positive != 1 {
+		t.Fatalf("max-score fuse = %+v, want present with 1 positive", v)
+	}
+	if v.Score != 1.5 {
+		t.Fatalf("fused score = %v, want 1.5 (max normalized)", v.Score)
+	}
+	none := []LinkDecision{dec("a", false, 0.4, 1.0)}
+	if v, _ = (MaxScore{}).Fuse(none); v.Present {
+		t.Fatalf("all-negative fleet fused to present: %+v", v)
+	}
+}

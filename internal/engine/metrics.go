@@ -1,0 +1,77 @@
+package engine
+
+import "time"
+
+// LinkMetrics is one link's monitoring state snapshot.
+type LinkMetrics struct {
+	// ID is the link's fleet ID.
+	ID string
+	// Calibrated reports whether the link has a detector.
+	Calibrated bool
+	// MeanMu is the link's mean multipath factor μ measured at calibration
+	// (the §IV-A deployment-assessment metric; higher = more sensitive).
+	MeanMu float64
+	// Threshold is the calibrated decision threshold.
+	Threshold float64
+	// WindowsScored counts scored monitoring windows.
+	WindowsScored uint64
+	// LastScore and MeanScore summarize the link's score stream.
+	LastScore, MeanScore float64
+	// Present is the link's latest verdict.
+	Present bool
+}
+
+// Metrics is a consistent-enough snapshot of the engine's counters.
+type Metrics struct {
+	// Links is the fleet size.
+	Links int
+	// WindowsScored and FramesSeen count fleet-wide work.
+	WindowsScored uint64
+	FramesSeen    uint64
+	// ScoresPerSec is windows scored per second of active Run time (0 before
+	// the first Run).
+	ScoresPerSec float64
+	// PerLink holds one entry per link in registration order.
+	PerLink []LinkMetrics
+}
+
+// Metrics snapshots the engine's counters and per-link state.
+func (e *Engine) Metrics() Metrics {
+	e.mu.Lock()
+	links := append([]*link(nil), e.links...)
+	active := time.Duration(e.runNanos.Load())
+	if e.running {
+		active += time.Since(e.runStart)
+	}
+	e.mu.Unlock()
+
+	m := Metrics{
+		Links:         len(links),
+		WindowsScored: e.windowsScored.Load(),
+		FramesSeen:    e.framesSeen.Load(),
+		PerLink:       make([]LinkMetrics, 0, len(links)),
+	}
+	if secs := active.Seconds(); secs > 0 {
+		m.ScoresPerSec = float64(m.WindowsScored) / secs
+	}
+	for _, l := range links {
+		l.mu.Lock()
+		lm := LinkMetrics{
+			ID:            l.id,
+			Calibrated:    l.det != nil,
+			MeanMu:        l.meanMu,
+			WindowsScored: l.windows,
+			LastScore:     l.last.Score,
+			Present:       l.last.Present,
+		}
+		if l.det != nil {
+			lm.Threshold = l.det.Threshold()
+		}
+		if l.windows > 0 {
+			lm.MeanScore = l.scoreSum / float64(l.windows)
+		}
+		l.mu.Unlock()
+		m.PerLink = append(m.PerLink, lm)
+	}
+	return m
+}

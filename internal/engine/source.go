@@ -1,0 +1,66 @@
+package engine
+
+import (
+	"io"
+
+	"mlink/internal/body"
+	"mlink/internal/csi"
+	"mlink/internal/csinet"
+)
+
+// Source is a link's frame stream. Next returns io.EOF to end the stream
+// cleanly. The engine always calls Next from one goroutine at a time, so a
+// Source need not be safe for concurrent use.
+type Source interface {
+	Next() (*csi.Frame, error)
+}
+
+// SourceFunc adapts a function to the Source interface.
+type SourceFunc func() (*csi.Frame, error)
+
+// Next calls the function.
+func (f SourceFunc) Next() (*csi.Frame, error) { return f() }
+
+// ExtractorSource streams simulated captures from a csi.Extractor with a
+// fixed set of bodies present (nil = empty room). The extractor must not be
+// shared with another goroutine while the engine owns the source.
+func ExtractorSource(x *csi.Extractor, bodies []body.Body) Source {
+	return SourceFunc(func() (*csi.Frame, error) {
+		return x.Capture(bodies), nil
+	})
+}
+
+// ClientSource streams frames received from a csinet server — the
+// distributed deployment where receiver daemons export CSI over TCP.
+func ClientSource(c *csinet.Client) Source {
+	return SourceFunc(c.Recv)
+}
+
+// ReplaySource replays pre-recorded frames, optionally looping forever —
+// used by benchmarks to decouple scoring throughput from capture cost.
+type ReplaySource struct {
+	frames []*csi.Frame
+	next   int
+	loop   bool
+}
+
+// NewReplaySource wraps recorded frames; loop cycles them indefinitely.
+func NewReplaySource(frames []*csi.Frame, loop bool) *ReplaySource {
+	return &ReplaySource{frames: frames, loop: loop}
+}
+
+// Next implements Source.
+func (r *ReplaySource) Next() (*csi.Frame, error) {
+	if len(r.frames) == 0 {
+		return nil, io.EOF
+	}
+	if r.next >= len(r.frames) {
+		if !r.loop {
+			return nil, io.EOF
+		}
+		r.next = 0
+	}
+	f := r.frames[r.next]
+	r.next++
+	return f, nil
+}

@@ -1,0 +1,11 @@
+// Package experiments contains one driver per figure of the paper's
+// analysis (§III) and evaluation (§V) sections. Each driver generates its
+// workload with internal/scenario, runs the pipeline under test, and
+// returns a result struct that renders the same rows/series the paper
+// plots: Fig. 2–4 characterize RSS change and the multipath factor, Fig. 5
+// the MUSIC angular view, and Fig. 7–12 the detection performance of the
+// three schemes across links, ranges, angles and packet budgets.
+//
+// cmd/mlink-exp prints the full tables; bench_test.go reports each figure's
+// headline quantity via go test -bench.
+package experiments

@@ -1,10 +1,3 @@
-// Package experiments contains one driver per figure of the paper's
-// analysis and evaluation sections. Each driver generates its workload with
-// internal/scenario, runs the pipeline under test, and returns a result
-// struct that renders the same rows/series the paper plots.
-//
-// The DESIGN.md per-experiment index maps figure IDs to these drivers;
-// cmd/mlink-exp and bench_test.go execute them.
 package experiments
 
 import (

@@ -1,0 +1,13 @@
+// Package scenario reproduces the paper's measurement campaigns as seeded,
+// deterministic simulation setups: the 6m×8m classroom of §III-A, the five
+// TX–RX link cases of Fig. 6 (LinkCase, or LinkCases for the whole fleet at
+// once), the 3×3 presence grids, the 500-location sampler, link-crossing
+// trajectories, and the background dynamics (up to five students working
+// ≥5 m away) of §V-A.
+//
+// A Scenario bundles a built propagation environment with the receiver's
+// subcarrier grid and impairment model; NewExtractor derives reproducible
+// CSI extractors from the scenario seed, and NewSession re-builds the setup
+// with the small hardware/placement jitter of the paper's repeated
+// campaigns (day/night, two weeks apart).
+package scenario

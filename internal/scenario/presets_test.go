@@ -1,0 +1,35 @@
+package scenario
+
+import "testing"
+
+func TestLinkCasesFleet(t *testing.T) {
+	fleet, err := LinkCases(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fleet) != NumLinkCases {
+		t.Fatalf("fleet of %d, want %d", len(fleet), NumLinkCases)
+	}
+	names := make(map[string]bool)
+	seeds := make(map[int64]bool)
+	for i, s := range fleet {
+		one, err := LinkCase(i+1, 3+int64(i+1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.Name != one.Name {
+			t.Errorf("case %d named %q, want %q", i+1, s.Name, one.Name)
+		}
+		if names[s.Name] {
+			t.Errorf("duplicate case name %q", s.Name)
+		}
+		names[s.Name] = true
+		if seeds[s.Seed] {
+			t.Errorf("cases share seed %d — fleet links must be independent", s.Seed)
+		}
+		seeds[s.Seed] = true
+		if s.LinkLength() <= 0 {
+			t.Errorf("case %d has zero link length", i+1)
+		}
+	}
+}

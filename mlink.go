@@ -11,11 +11,15 @@
 //	_ = sys.Calibrate(300)
 //	dec, _ := sys.DetectPresence(25, &mlink.Person{X: 3, Y: 4})
 //
+// For a whole deployment, Engine monitors many links at once — parallel
+// calibration, pooled window scoring and fused site verdicts (see
+// NewEngine and cmd/mlink-serve).
+//
 // Lower-level building blocks live in the internal packages: propagation
 // (ray tracing), csi (Intel-5300-style extraction), core (multipath factor,
-// subcarrier and path weighting, detector), music (AoA), csinet
-// (distributed collection), scenario (the paper's testbeds), experiments
-// (figure-by-figure reproduction).
+// subcarrier and path weighting, detector), engine (concurrent multi-link
+// monitoring), music (AoA), csinet (distributed collection), scenario (the
+// paper's testbeds), experiments (figure-by-figure reproduction).
 package mlink
 
 import (
