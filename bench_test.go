@@ -258,6 +258,93 @@ func BenchmarkFig12PacketQuantity(b *testing.B) {
 	b.ReportMetric(100*at25, "pathTPat25pkts%")
 }
 
+// --- Synthesis pipeline (cached vs naive) ------------------------------
+
+// BenchmarkEnvironmentResponse compares the naive per-ray channel synthesis
+// against the phasor-cached ResponseInto path, for an empty room and with a
+// person on the link. Both paths stay runnable so the speedup is always
+// measurable; the cache-consistency tests bound their divergence below 1e-9.
+func BenchmarkEnvironmentResponse(b *testing.B) {
+	s, err := scenario.Classroom(5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	freqs := s.Grid.Frequencies()
+	if err := s.Env.PrepareGrid(freqs); err != nil {
+		b.Fatal(err)
+	}
+	bodies := []body.Body{body.Default(s.LinkMidpoint())}
+	cases := []struct {
+		name   string
+		bodies []body.Body
+	}{
+		{"empty", nil},
+		{"occupied", bodies},
+	}
+	for _, tc := range cases {
+		b.Run("naive/"+tc.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				s.Env.Response(freqs, tc.bodies)
+			}
+		})
+		b.Run("cached/"+tc.name, func(b *testing.B) {
+			dst := make([][]complex128, len(s.Env.RX.Elements))
+			for i := range dst {
+				dst[i] = make([]complex128, len(freqs))
+			}
+			sc := &propagation.ResponseScratch{}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := s.Env.ResponseInto(dst, tc.bodies, sc); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkExtractorCapture compares one full packet capture — synthesis
+// plus impairments — on the naive path (fresh allocations, per-ray
+// evaluation) against the cached path (CaptureInto on a pooled frame).
+func BenchmarkExtractorCapture(b *testing.B) {
+	s, err := scenario.Classroom(5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	x, err := s.NewExtractor(3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	bodies := []body.Body{body.Default(s.LinkMidpoint())}
+	cases := []struct {
+		name   string
+		bodies []body.Body
+	}{
+		{"empty", nil},
+		{"occupied", bodies},
+	}
+	for _, tc := range cases {
+		b.Run("naive/"+tc.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				x.CaptureNaive(tc.bodies)
+			}
+		})
+		b.Run("cached/"+tc.name, func(b *testing.B) {
+			f := csi.NewFrame(len(x.Env.RX.Elements), x.Grid.Len())
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := x.CaptureInto(f, tc.bodies); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // --- Engine (multi-link monitoring) ------------------------------------
 
 // Pre-recorded empty-room frames shared by the engine benchmarks, so they

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"mlink/internal/body"
+	"mlink/internal/csi"
 	"mlink/internal/engine"
 )
 
@@ -60,19 +61,31 @@ func NewEngine(cfg EngineConfig) *Engine {
 
 // phasedSource streams simulated captures from a System, with the link's
 // people entering the room only once calibration has finished — the §IV-C
-// calibration stage is an empty room by definition.
+// calibration stage is an empty room by definition. Frames are drawn from a
+// pool and written via the allocation-free CaptureInto path; the engine
+// recycles them after scoring.
 type phasedSource struct {
 	sys        *System
 	bodies     []body.Body
 	monitoring bool
+	pool       *csi.FramePool
 }
 
 func (s *phasedSource) Next() (*Frame, error) {
-	if s.monitoring {
-		return s.sys.extractor.Capture(s.bodies), nil
+	bodies := s.bodies
+	if !s.monitoring {
+		bodies = nil
 	}
-	return s.sys.extractor.Capture(nil), nil
+	f := s.pool.Get()
+	if err := s.sys.extractor.CaptureInto(f, bodies); err != nil {
+		s.pool.Put(f)
+		return nil, err
+	}
+	return f, nil
 }
+
+// Recycle implements engine.FrameRecycler.
+func (s *phasedSource) Recycle(f *Frame) { s.pool.Put(f) }
 
 // AddLink adopts a System as one monitored link under a unique ID. The
 // engine owns the system's extractor from here on — don't keep capturing
@@ -83,7 +96,11 @@ func (e *Engine) AddLink(id string, sys *System, people ...*Person) error {
 	if sys == nil {
 		return fmt.Errorf("mlink: nil system for link %q", id)
 	}
-	src := &phasedSource{sys: sys, bodies: bodiesOf(people)}
+	src := &phasedSource{
+		sys:    sys,
+		bodies: bodiesOf(people),
+		pool:   csi.NewFramePool(len(sys.extractor.Env.RX.Elements), sys.extractor.Grid.Len()),
+	}
 	if err := e.eng.AddLink(id, sys.cfg, src); err != nil {
 		return fmt.Errorf("mlink: %w", err)
 	}

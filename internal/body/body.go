@@ -1,15 +1,3 @@
-// Package body models the effect of a human body on radio rays, following
-// the two mechanisms the paper identifies (§II-A, §III-B):
-//
-//   - Shadowing: when a person stands on or near a propagation path the
-//     path's amplitude is attenuated. We model the body as a dielectric
-//     cylinder (as in the paper's reference [19]) and compute the
-//     attenuation with the ITU-R P.526 single knife-edge diffraction
-//     approximation, which naturally yields the "5–6 wavelength sensitivity
-//     region" around the LOS path quoted in §IV-B.
-//   - Reflection: a person near (but off) a path creates a new single-bounce
-//     path (Eq. 7). We expose a radar cross-section (RCS) so the
-//     propagation package can synthesize that bistatic echo ray.
 package body
 
 import (
@@ -46,9 +34,22 @@ func knifeEdgeLossDB(v float64) float64 {
 	return 6.9 + 20*math.Log10(math.Sqrt((v-0.1)*(v-0.1)+1)+v-0.1)
 }
 
-// segmentShadowGain returns the amplitude factor (≤ 1) a body imposes on one
-// ray segment at the given wavelength.
-func (b Body) segmentShadowGain(seg geom.Segment, wavelength float64) float64 {
+// ShadowGeometry is the frequency-independent half of the knife-edge model
+// for one (body, segment) pair. Callers that evaluate many wavelengths
+// against fixed geometry (the propagation cache) compute it once and call
+// GainAt per subcarrier.
+type ShadowGeometry struct {
+	// VCoeff is the wavelength-independent Fresnel coefficient
+	// h·√(2(d1+d2)/(d1·d2)); the Fresnel parameter at wavelength λ is
+	// v = VCoeff/√λ. Negative when the body sits clear of the ray.
+	VCoeff float64
+}
+
+// SegmentGeometry classifies the body against one ray segment. It returns
+// the obstruction geometry and whether the knife-edge gain can differ from 1
+// at any wavelength ≤ maxLambda; when ok is false the pair contributes gain
+// 1 at every such wavelength and may be skipped.
+func (b Body) SegmentGeometry(seg geom.Segment, maxLambda float64) (g ShadowGeometry, ok bool) {
 	closest, t := seg.ClosestPoint(b.Position)
 	// The knife-edge model needs the obstacle strictly between the segment
 	// endpoints; at the clamped ends the body sits beside a terminal, where
@@ -58,14 +59,35 @@ func (b Body) segmentShadowGain(seg geom.Segment, wavelength float64) float64 {
 	d1 := seg.A.Dist(closest)
 	d2 := closest.Dist(seg.B)
 	if t <= 0 || t >= 1 || d1 < 1e-6 || d2 < 1e-6 {
+		return ShadowGeometry{}, false
+	}
+	h := b.Radius - closest.Dist(b.Position)
+	g = ShadowGeometry{VCoeff: h * math.Sqrt(2*(d1+d2)/(d1*d2))}
+	if g.VCoeff < 0 {
+		// |v| grows as λ shrinks, so a body that clears the Fresnel
+		// threshold at the largest wavelength clears it at every shorter
+		// one.
+		if g.VCoeff/math.Sqrt(maxLambda) <= -0.78 {
+			return ShadowGeometry{}, false
+		}
+	}
+	return g, true
+}
+
+// GainAt evaluates the knife-edge amplitude gain (≤ 1) at one wavelength.
+func (g ShadowGeometry) GainAt(wavelength float64) float64 {
+	loss := knifeEdgeLossDB(g.VCoeff / math.Sqrt(wavelength))
+	return math.Pow(10, -loss/20)
+}
+
+// segmentShadowGain returns the amplitude factor (≤ 1) a body imposes on one
+// ray segment at the given wavelength.
+func (b Body) segmentShadowGain(seg geom.Segment, wavelength float64) float64 {
+	g, ok := b.SegmentGeometry(seg, wavelength)
+	if !ok {
 		return 1
 	}
-	dist := closest.Dist(b.Position)
-	// Obstruction depth: positive when the cylinder crosses the ray.
-	h := b.Radius - dist
-	v := h * math.Sqrt(2*(d1+d2)/(wavelength*d1*d2))
-	loss := knifeEdgeLossDB(v)
-	return math.Pow(10, -loss/20)
+	return g.GainAt(wavelength)
 }
 
 // ShadowGain returns the total amplitude factor the body imposes on a

@@ -1,0 +1,18 @@
+// Package body models the effect of a human body on radio rays, following
+// the two mechanisms the paper identifies (§II-A, §III-B):
+//
+//   - Shadowing: when a person stands on or near a propagation path the
+//     path's amplitude is attenuated. We model the body as a dielectric
+//     cylinder (as in the paper's reference [19]) and compute the
+//     attenuation with the ITU-R P.526 single knife-edge diffraction
+//     approximation, which naturally yields the "5–6 wavelength sensitivity
+//     region" around the LOS path quoted in §IV-B.
+//   - Reflection: a person near (but off) a path creates a new single-bounce
+//     path (Eq. 7). We expose a radar cross-section (RCS) so the
+//     propagation package can synthesize that bistatic echo ray.
+//
+// The knife-edge model splits into a frequency-independent geometric half
+// (SegmentGeometry) and a per-wavelength half (ShadowGeometry.GainAt), so
+// the propagation package's phasor cache can classify obstructions once per
+// packet and only re-evaluate the Fresnel term per subcarrier.
+package body

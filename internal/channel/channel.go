@@ -1,8 +1,3 @@
-// Package channel defines the OFDM frequency grid of the paper's testbed —
-// IEEE 802.11n, 2.4 GHz channel 11, 20 MHz bandwidth — and the subcarrier
-// subset the Intel 5300 CSI Tool reports (the 30 indices listed in the
-// paper's footnote 1). It also provides the AWGN model applied to channel
-// responses before CSI extraction.
 package channel
 
 import (
@@ -87,8 +82,15 @@ func (g *Grid) Len() int { return len(g.Indices) }
 func AddAWGN(h []complex128, snrDB float64, rng *rand.Rand) []complex128 {
 	out := make([]complex128, len(h))
 	copy(out, h)
+	AddAWGNInPlace(out, snrDB, rng)
+	return out
+}
+
+// AddAWGNInPlace is AddAWGN mutating h directly — the allocation-free
+// capture hot path. A nil rng or an empty input leaves h unchanged.
+func AddAWGNInPlace(h []complex128, snrDB float64, rng *rand.Rand) {
 	if rng == nil || len(h) == 0 {
-		return out
+		return
 	}
 	var avg float64
 	for _, v := range h {
@@ -98,8 +100,7 @@ func AddAWGN(h []complex128, snrDB float64, rng *rand.Rand) []complex128 {
 	avg /= float64(len(h))
 	noisePower := avg / math.Pow(10, snrDB/10)
 	sigma := math.Sqrt(noisePower / 2)
-	for i := range out {
-		out[i] += complex(rng.NormFloat64()*sigma, rng.NormFloat64()*sigma)
+	for i := range h {
+		h[i] += complex(rng.NormFloat64()*sigma, rng.NormFloat64()*sigma)
 	}
-	return out
 }

@@ -135,9 +135,10 @@ func Calibrate(cfg Config, frames []*csi.Frame) (*Profile, error) {
 		MeanRSSdB: zeros2(nAnt, nSub),
 		Frames:    prep,
 	}
+	rss := make([]float64, nSub) // reused across frames and antennas
 	for _, f := range prep {
 		for ant := 0; ant < nAnt; ant++ {
-			rss := SubcarrierRSSdB(f.CSI[ant])
+			subcarrierRSSdBInto(rss, f.CSI[ant])
 			for k := 0; k < nSub; k++ {
 				re, im := real(f.CSI[ant][k]), imag(f.CSI[ant][k])
 				p.MeanAmp[ant][k] += math.Hypot(re, im)

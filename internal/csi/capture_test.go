@@ -1,0 +1,167 @@
+package csi
+
+import (
+	"math/cmplx"
+	"testing"
+
+	"mlink/internal/body"
+	"mlink/internal/channel"
+	"mlink/internal/geom"
+)
+
+// TestCaptureMatchesNaive drives the cached (Capture/CaptureInto) and naive
+// (CaptureNaive) paths from identically-seeded extractors: both consume
+// random variates in the same order, so frames must agree to float roundoff
+// (quantization snaps both to the same levels in practice).
+func TestCaptureMatchesNaive(t *testing.T) {
+	bodies := []body.Body{body.Default(geom.Point{X: 3, Y: 4.2})}
+	for name, bs := range map[string][]body.Body{"empty": nil, "occupied": bodies} {
+		t.Run(name, func(t *testing.T) {
+			cached := newExtractor(t, DefaultImpairments(), 42)
+			naive := newExtractor(t, DefaultImpairments(), 42)
+			for pkt := 0; pkt < 20; pkt++ {
+				cf := cached.Capture(bs)
+				nf := naive.CaptureNaive(bs)
+				if cf.Seq != nf.Seq || cf.TimestampMicros != nf.TimestampMicros {
+					t.Fatalf("pkt %d: stamp mismatch %d/%d vs %d/%d", pkt, cf.Seq, cf.TimestampMicros, nf.Seq, nf.TimestampMicros)
+				}
+				for ant := range cf.CSI {
+					for k := range cf.CSI[ant] {
+						d := cmplx.Abs(cf.CSI[ant][k] - nf.CSI[ant][k])
+						if d > 1e-9 {
+							t.Fatalf("pkt %d ant %d sub %d: |cached-naive| = %v", pkt, ant, k, d)
+						}
+					}
+					if dr := cf.RSSI[ant] - nf.RSSI[ant]; dr > 1e-9 || dr < -1e-9 {
+						t.Fatalf("pkt %d ant %d: rssi %v vs %v", pkt, ant, cf.RSSI[ant], nf.RSSI[ant])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestCaptureIntoAllocationFree pins the headline property of the capture
+// pipeline: steady-state CaptureInto performs zero allocations.
+func TestCaptureIntoAllocationFree(t *testing.T) {
+	x := newExtractor(t, DefaultImpairments(), 7)
+	bodies := []body.Body{body.Default(geom.Point{X: 3, Y: 4})}
+	f := NewFrame(len(x.Env.RX.Elements), x.Grid.Len())
+	if err := x.CaptureInto(f, bodies); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		if err := x.CaptureInto(f, bodies); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 0 {
+		t.Fatalf("CaptureInto allocates %v per call, want 0", allocs)
+	}
+}
+
+// TestCaptureIntoShapeErrors covers the frame-shape validation.
+func TestCaptureIntoShapeErrors(t *testing.T) {
+	x := newExtractor(t, Impairments{}, 1)
+	if err := x.CaptureInto(NewFrame(1, x.Grid.Len()), nil); err == nil {
+		t.Fatal("wrong antenna count accepted")
+	}
+	if err := x.CaptureInto(NewFrame(len(x.Env.RX.Elements), 4), nil); err == nil {
+		t.Fatal("wrong subcarrier count accepted")
+	}
+	if err := x.CaptureInto(NewFrame(len(x.Env.RX.Elements), x.Grid.Len()), nil); err != nil {
+		t.Fatalf("correct shape rejected: %v", err)
+	}
+}
+
+// TestCaptureIntoSharedEnvDifferentGrids pins the cross-grid guard: two
+// extractors on different grids sharing one environment must each
+// synthesize at their own frequencies — the later extractor's PrepareGrid
+// rebuilds the shared cache, and the earlier one must detect the mismatch
+// and re-prepare rather than reading phasors for the wrong grid.
+func TestCaptureIntoSharedEnvDifferentGrids(t *testing.T) {
+	env := testEnv(t)
+	gridA := testGrid(t)
+	gridB, err := channel.NewIntel5300Grid(2.412e9) // channel 1: same length, other freqs
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Noiseless, impairment-free extractors so captures equal the raw
+	// response and can be compared against the naive reference exactly.
+	xa, err := NewExtractor(env, gridA, Impairments{}, 50, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xb, err := NewExtractor(env, gridB, Impairments{}, 50, nil) // re-prepares the shared cache
+	if err != nil {
+		t.Fatal(err)
+	}
+	fa := xa.Capture(nil) // must notice the cache now belongs to gridB
+	fb := xb.Capture(nil)
+	wantA := env.Response(gridA.Frequencies(), nil)
+	wantB := env.Response(gridB.Frequencies(), nil)
+	for ant := range fa.CSI {
+		for k := range fa.CSI[ant] {
+			if d := cmplx.Abs(fa.CSI[ant][k] - wantA[ant][k]); d > 1e-9 {
+				t.Fatalf("grid A ant %d sub %d: diverges by %v", ant, k, d)
+			}
+			if d := cmplx.Abs(fb.CSI[ant][k] - wantB[ant][k]); d > 1e-9 {
+				t.Fatalf("grid B ant %d sub %d: diverges by %v", ant, k, d)
+			}
+		}
+	}
+}
+
+// TestNewFrameShape verifies NewFrame builds a valid frame whose rows are
+// full-capacity slices (no row can append over its neighbour in the shared
+// backing array).
+func TestNewFrameShape(t *testing.T) {
+	f := NewFrame(3, 30)
+	if err := f.Validate(); err != nil {
+		t.Fatalf("fresh frame invalid: %v", err)
+	}
+	for i := 0; i < 3; i++ {
+		if len(f.CSI[i]) != 30 || cap(f.CSI[i]) != 30 {
+			t.Fatalf("row %d len/cap = %d/%d, want 30/30", i, len(f.CSI[i]), cap(f.CSI[i]))
+		}
+	}
+}
+
+// TestFramePoolRecycling checks Get/Put round-trips and that foreign-shaped
+// frames are dropped rather than poisoning the pool.
+func TestFramePoolRecycling(t *testing.T) {
+	p := NewFramePool(2, 8)
+	f := p.Get()
+	if f.NumAntennas() != 2 || f.NumSubcarriers() != 8 {
+		t.Fatalf("pool frame shape %dx%d", f.NumAntennas(), f.NumSubcarriers())
+	}
+	p.Put(f)
+	p.Put(nil)               // ignored
+	p.Put(NewFrame(3, 8))    // wrong antennas: dropped
+	p.Put(NewFrame(2, 4))    // wrong subcarriers: dropped
+	for i := 0; i < 4; i++ { // pooled or fresh, shape must hold
+		g := p.Get()
+		if g.NumAntennas() != 2 || g.NumSubcarriers() != 8 {
+			t.Fatalf("recycled frame shape %dx%d", g.NumAntennas(), g.NumSubcarriers())
+		}
+	}
+}
+
+// TestQuantizeInPlaceMatchesQuantize checks the in-place rewrite agrees with
+// the allocating reference and handles the all-zero row.
+func TestQuantizeInPlaceMatchesQuantize(t *testing.T) {
+	h := []complex128{3 + 4i, -0.02 + 0.7i, 0.001 - 2.5i, 0}
+	want := quantize(h, 8)
+	got := append([]complex128(nil), h...)
+	quantizeInPlace(got, 8)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("quantize[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+	zero := []complex128{0, 0}
+	quantizeInPlace(zero, 8)
+	if zero[0] != 0 || zero[1] != 0 {
+		t.Fatalf("zero row mutated: %v", zero)
+	}
+}

@@ -1,18 +1,3 @@
-// Package csi emulates the Channel State Information export path of the
-// paper's receiver: an Intel 5300 NIC with the Linux CSI Tool [16]. Each
-// captured packet yields an NRX×30 complex CSI matrix plus per-antenna RSSI.
-//
-// The emulation layers the hardware impairments real CSI exhibits on top of
-// the noiseless channel response from internal/propagation:
-//
-//   - a per-packet common phase offset (residual CFO — identical on all RX
-//     chains because they share one oscillator, which is what makes
-//     cross-antenna phase usable for AoA),
-//   - a per-packet sampling-time offset, i.e. a linear phase slope across
-//     subcarriers (what phase sanitization removes),
-//   - automatic gain control jitter (a common amplitude scale per packet),
-//   - additive white Gaussian noise per subcarrier and antenna,
-//   - int8 quantization of the real/imaginary parts, as the 5300 reports.
 package csi
 
 import (
@@ -43,6 +28,18 @@ type Frame struct {
 	// RSSI is the per-antenna received signal strength in dB (10·log10 of
 	// the summed subcarrier power).
 	RSSI []float64
+}
+
+// NewFrame allocates a frame whose CSI rows are slices of one contiguous
+// complex backing array — the layout the allocation-free capture pipeline
+// and the frame pool rely on.
+func NewFrame(nAnt, nSub int) *Frame {
+	backing := make([]complex128, nAnt*nSub)
+	rows := make([][]complex128, nAnt)
+	for i := range rows {
+		rows[i] = backing[i*nSub : (i+1)*nSub : (i+1)*nSub]
+	}
+	return &Frame{CSI: rows, RSSI: make([]float64, nAnt)}
 }
 
 // NumAntennas returns the receive-antenna count of the frame.
@@ -168,11 +165,15 @@ type Extractor struct {
 
 	rng      *rand.Rand
 	seq      uint32
-	agcDrift float64 // current OU drift state in dB
+	agcDrift float64   // current OU drift state in dB
+	freqs    []float64 // cached grid frequencies
+	resp     propagation.ResponseScratch
 }
 
 // NewExtractor builds an extractor; rng drives every stochastic impairment
-// and must not be nil when any impairment is enabled.
+// and must not be nil when any impairment is enabled. The environment's
+// synthesis cache is prepared for the grid here, so every capture rides the
+// cached fast path.
 func NewExtractor(env *propagation.Environment, grid *channel.Grid, imp Impairments, packetRate float64, rng *rand.Rand) (*Extractor, error) {
 	if env == nil {
 		return nil, errors.New("csi: nil environment")
@@ -187,7 +188,11 @@ func NewExtractor(env *propagation.Environment, grid *channel.Grid, imp Impairme
 		imp.AGCDriftDB > 0 || imp.RandomCommonPhase) {
 		return nil, errors.New("csi: nil rng with stochastic impairments enabled")
 	}
-	x := &Extractor{Env: env, Grid: grid, Imp: imp, PacketRate: packetRate, rng: rng}
+	x := &Extractor{Env: env, Grid: grid, Imp: imp, PacketRate: packetRate, rng: rng,
+		freqs: grid.Frequencies()}
+	if err := env.PrepareGrid(x.freqs); err != nil {
+		return nil, fmt.Errorf("csi: prepare grid: %w", err)
+	}
 	if imp.AGCDriftDB > 0 {
 		// Start the drift in its stationary distribution so the first
 		// window is as realistic as the thousandth.
@@ -196,18 +201,13 @@ func NewExtractor(env *propagation.Environment, grid *channel.Grid, imp Impairme
 	return x, nil
 }
 
-// Capture simulates receiving one packet with the given bodies in the room
-// and returns its CSI frame.
-func (x *Extractor) Capture(bodies []body.Body) *Frame {
-	freqs := x.Grid.Frequencies()
-	h := x.Env.Response(freqs, bodies)
-
-	// Per-packet common impairments (shared across antennas).
-	commonPhase := 0.0
+// drawImpairments draws the per-packet common impairments (shared across
+// antennas) in a fixed order, so the cached and naive capture paths consume
+// identical random variates.
+func (x *Extractor) drawImpairments() (commonPhase, sto, agc float64) {
 	if x.Imp.RandomCommonPhase {
 		commonPhase = x.rng.Float64() * 2 * math.Pi
 	}
-	sto := 0.0
 	if x.Imp.MaxSTOSeconds > 0 {
 		sto = (x.rng.Float64()*2 - 1) * x.Imp.MaxSTOSeconds
 	}
@@ -224,22 +224,99 @@ func (x *Extractor) Capture(bodies []body.Body) *Frame {
 		x.agcDrift = rho*x.agcDrift + math.Sqrt(1-rho*rho)*x.rng.NormFloat64()*x.Imp.AGCDriftDB
 		agcDB += x.agcDrift
 	}
-	agc := math.Pow(10, agcDB/20)
+	return commonPhase, sto, math.Pow(10, agcDB/20)
+}
+
+// stamp assigns the frame's sequence number and timestamp.
+func (x *Extractor) stamp(f *Frame) {
+	f.Seq = x.seq
+	f.TimestampMicros = uint64(float64(x.seq) / x.PacketRate * 1e6)
+	x.seq++
+}
+
+// Capture simulates receiving one packet with the given bodies in the room
+// and returns its CSI frame. It rides the cached synthesis path; see
+// CaptureInto for the allocation-free variant and CaptureNaive for the
+// uncached reference.
+func (x *Extractor) Capture(bodies []body.Body) *Frame {
+	f := NewFrame(len(x.Env.RX.Elements), x.Grid.Len())
+	if err := x.CaptureInto(f, bodies); err != nil {
+		// The frame shape and grid are constructed here; failure means a
+		// broken invariant, not bad input.
+		panic(fmt.Sprintf("csi: capture: %v", err))
+	}
+	return f
+}
+
+// CaptureInto simulates receiving one packet into a caller-provided frame
+// (shaped as by NewFrame) without allocating: channel synthesis writes
+// directly into the frame's CSI rows via the environment's phasor cache, and
+// the impairments — STO/phase rotation, AWGN, quantization — are applied in
+// place on the frame's backing array.
+func (x *Extractor) CaptureInto(f *Frame, bodies []body.Body) error {
+	nAnt := len(x.Env.RX.Elements)
+	nSub := x.Grid.Len()
+	if len(f.CSI) != nAnt || len(f.RSSI) != nAnt {
+		return fmt.Errorf("frame for %d antennas, link has %d: %w", len(f.CSI), nAnt, ErrBadFrame)
+	}
+	for _, row := range f.CSI {
+		if len(row) != nSub {
+			return fmt.Errorf("frame row of %d subcarriers, grid has %d: %w", len(row), nSub, ErrBadFrame)
+		}
+	}
+	if !x.Env.PreparedFor(x.freqs) {
+		// Another extractor sharing this environment re-prepared its cache
+		// for a different grid; rebuild for ours rather than silently
+		// synthesizing at the wrong frequencies. (In the common case this
+		// check is a 30-float compare and the rebuild never triggers.)
+		if err := x.Env.PrepareGrid(x.freqs); err != nil {
+			return fmt.Errorf("re-prepare grid: %w", err)
+		}
+	}
+	if err := x.Env.ResponseInto(f.CSI, bodies, &x.resp); err != nil {
+		return fmt.Errorf("synthesize: %w", err)
+	}
+	commonPhase, sto, agc := x.drawImpairments()
+	x.stamp(f)
+	for ant := 0; ant < nAnt; ant++ {
+		row := f.CSI[ant]
+		for k := range row {
+			// STO phase slope across subcarriers (relative to centre to keep
+			// the slope numerically clean) plus the common oscillator phase.
+			phi := commonPhase - 2*math.Pi*(x.freqs[k]-x.Grid.Center)*sto
+			sin, cos := math.Sincos(phi)
+			row[k] *= complex(agc*cos, agc*sin)
+		}
+		if x.Imp.NoiseEnabled {
+			channel.AddAWGNInPlace(row, x.Imp.SNRdB, x.rng)
+		}
+		if b := x.Imp.QuantizationBits; b >= 2 && b <= 16 {
+			quantizeInPlace(row, b)
+		}
+		f.RSSI[ant] = rssiOf(row)
+	}
+	return nil
+}
+
+// CaptureNaive is the uncached reference capture path: it synthesizes the
+// channel with the naive per-ray Response and allocates fresh CSI rows, as
+// Capture did before the phasor cache existed. It is kept runnable for the
+// cached-vs-naive benchmarks and consistency tests; production callers use
+// Capture/CaptureInto.
+func (x *Extractor) CaptureNaive(bodies []body.Body) *Frame {
+	h := x.Env.Response(x.freqs, bodies)
+	commonPhase, sto, agc := x.drawImpairments()
 
 	frame := &Frame{
-		Seq:             x.seq,
-		TimestampMicros: uint64(float64(x.seq) / x.PacketRate * 1e6),
-		CSI:             make([][]complex128, len(h)),
-		RSSI:            make([]float64, len(h)),
+		CSI:  make([][]complex128, len(h)),
+		RSSI: make([]float64, len(h)),
 	}
-	x.seq++
+	x.stamp(frame)
 
 	for ant, row := range h {
 		out := make([]complex128, len(row))
 		for k, v := range row {
-			// STO phase slope across subcarriers (relative to centre to keep
-			// the slope numerically clean) plus the common oscillator phase.
-			phi := commonPhase - 2*math.Pi*(freqs[k]-x.Grid.Center)*sto
+			phi := commonPhase - 2*math.Pi*(x.freqs[k]-x.Grid.Center)*sto
 			out[k] = v * complex(agc, 0) * cmplx.Exp(complex(0, phi))
 		}
 		if x.Imp.NoiseEnabled {
@@ -249,18 +326,22 @@ func (x *Extractor) Capture(bodies []body.Body) *Frame {
 			out = quantize(out, b)
 		}
 		frame.CSI[ant] = out
-		var p float64
-		for _, v := range out {
-			re, im := real(v), imag(v)
-			p += re*re + im*im
-		}
-		if p > 0 {
-			frame.RSSI[ant] = 10 * math.Log10(p)
-		} else {
-			frame.RSSI[ant] = math.Inf(-1)
-		}
+		frame.RSSI[ant] = rssiOf(out)
 	}
 	return frame
+}
+
+// rssiOf returns the summed subcarrier power of one antenna row in dB.
+func rssiOf(row []complex128) float64 {
+	var p float64
+	for _, v := range row {
+		re, im := real(v), imag(v)
+		p += re*re + im*im
+	}
+	if p <= 0 {
+		return math.Inf(-1)
+	}
+	return 10 * math.Log10(p)
 }
 
 // CaptureN captures n consecutive frames with a fixed body configuration.
@@ -272,10 +353,19 @@ func (x *Extractor) CaptureN(n int, bodies []body.Body) []*Frame {
 	return out
 }
 
-// quantize rounds real/imag parts to signed b-bit integers with a per-frame
-// scale chosen so the largest component uses the full range, then scales
-// back — exactly what the 5300 firmware does with 8 bits.
+// quantize rounds real/imag parts to signed b-bit integers, returning a new
+// slice (the naive capture path).
 func quantize(h []complex128, bits int) []complex128 {
+	out := append([]complex128(nil), h...)
+	quantizeInPlace(out, bits)
+	return out
+}
+
+// quantizeInPlace rounds real/imag parts to signed b-bit integers with a
+// per-antenna scale chosen so the largest component uses the full range,
+// then scales back — exactly what the 5300 firmware does with 8 bits. It
+// mutates h directly, the allocation-free capture hot path.
+func quantizeInPlace(h []complex128, bits int) {
 	maxLevel := float64(int(1)<<(bits-1)) - 1 // e.g. 127 for 8 bits
 	var peak float64
 	for _, v := range h {
@@ -287,14 +377,12 @@ func quantize(h []complex128, bits int) []complex128 {
 		}
 	}
 	if peak == 0 {
-		return append([]complex128(nil), h...)
+		return
 	}
 	scale := maxLevel / peak
-	out := make([]complex128, len(h))
 	for i, v := range h {
 		re := math.Round(real(v)*scale) / scale
 		im := math.Round(imag(v)*scale) / scale
-		out[i] = complex(re, im)
+		h[i] = complex(re, im)
 	}
-	return out
 }

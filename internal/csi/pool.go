@@ -1,0 +1,43 @@
+package csi
+
+import "sync"
+
+// FramePool recycles frames of one fixed shape so steady-state capture and
+// scoring pipelines run without per-frame allocations. Get and Put are safe
+// for concurrent use — the monitoring engine captures frames on one
+// goroutine per link and returns them from its scoring workers.
+//
+// A frame handed to Put must no longer be referenced by the caller: the pool
+// hands it to a future Get, which overwrites the CSI backing array in place.
+type FramePool struct {
+	nAnt, nSub int
+	pool       sync.Pool
+}
+
+// NewFramePool builds a pool of nAnt×nSub frames (the shape NewFrame
+// allocates).
+func NewFramePool(nAnt, nSub int) *FramePool {
+	p := &FramePool{nAnt: nAnt, nSub: nSub}
+	p.pool.New = func() any { return NewFrame(nAnt, nSub) }
+	return p
+}
+
+// Get returns a frame of the pool's shape. Its contents are stale — every
+// capture path overwrites them in full.
+func (p *FramePool) Get() *Frame {
+	return p.pool.Get().(*Frame)
+}
+
+// Put recycles a frame for a future Get. Frames of a different shape are
+// dropped rather than poisoning the pool.
+func (p *FramePool) Put(f *Frame) {
+	if f == nil || len(f.CSI) != p.nAnt || len(f.RSSI) != p.nAnt {
+		return
+	}
+	for _, row := range f.CSI {
+		if len(row) != p.nSub {
+			return
+		}
+	}
+	p.pool.Put(f)
+}

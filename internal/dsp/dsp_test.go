@@ -179,6 +179,40 @@ func TestDFTIDFTRoundTrip(t *testing.T) {
 	}
 }
 
+// TestDFTIntoMatchesDFTAndAllocs checks the Into variants agree with the
+// allocating ones and stay allocation-free once the size's twiddle table is
+// cached.
+func TestDFTIntoMatchesDFTAndAllocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, n := range []int{1, 2, 7, 16, 30} {
+		x := make([]complex128, n)
+		for i := range x {
+			x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+		}
+		fwd := make([]complex128, n)
+		inv := make([]complex128, n)
+		DFTInto(fwd, x)
+		IDFTInto(inv, x)
+		wantF := DFT(x)
+		wantI := IDFT(x)
+		for i := range x {
+			if cmplx.Abs(fwd[i]-wantF[i]) > 1e-12 || cmplx.Abs(inv[i]-wantI[i]) > 1e-12 {
+				t.Fatalf("n=%d Into mismatch at %d", n, i)
+			}
+		}
+		allocs := testing.AllocsPerRun(20, func() {
+			DFTInto(fwd, x)
+			IDFTInto(inv, x)
+		})
+		if allocs > 0 {
+			t.Fatalf("n=%d: transform Into allocates %v per call", n, allocs)
+		}
+	}
+	// Zero-length inputs are a no-op, not a panic.
+	DFTInto(nil, nil)
+	IDFTInto(nil, nil)
+}
+
 func TestDFTImpulse(t *testing.T) {
 	// DFT of a unit impulse is all-ones.
 	x := []complex128{1, 0, 0, 0}
@@ -309,6 +343,75 @@ func TestMovingAverage(t *testing.T) {
 	for i := range xs {
 		if neg[i] != xs[i] {
 			t.Fatalf("negative-width ma differs at %d", i)
+		}
+	}
+}
+
+// naiveMovingAverage is the O(n·width) reference the prefix-sum
+// implementation must match, edge semantics included.
+func naiveMovingAverage(xs []float64, width int) []float64 {
+	if width < 1 {
+		width = 1
+	}
+	if width%2 == 0 {
+		width++
+	}
+	half := width / 2
+	out := make([]float64, len(xs))
+	for i := range xs {
+		lo := i - half
+		if lo < 0 {
+			lo = 0
+		}
+		hi := i + half
+		if hi > len(xs)-1 {
+			hi = len(xs) - 1
+		}
+		var sum float64
+		for j := lo; j <= hi; j++ {
+			sum += xs[j]
+		}
+		out[i] = sum / float64(hi-lo+1)
+	}
+	return out
+}
+
+// TestMovingAverageMatchesNaive cross-checks the O(n) prefix-sum rewrite
+// against the naive windowed sum over random inputs, lengths, and widths —
+// including even widths (rounded up) and widths larger than the input.
+func TestMovingAverageMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(60)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.NormFloat64() * 100
+		}
+		width := -2 + rng.Intn(2*n+6)
+		got := MovingAverage(xs, width)
+		want := naiveMovingAverage(xs, width)
+		for i := range want {
+			if math.Abs(got[i]-want[i]) > 1e-9*math.Max(1, math.Abs(want[i])) {
+				t.Fatalf("trial %d n=%d width=%d: ma[%d] = %v, want %v", trial, n, width, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestMovingAverageEmpty(t *testing.T) {
+	if out := MovingAverage(nil, 5); len(out) != 0 {
+		t.Fatalf("ma(nil) = %v", out)
+	}
+}
+
+// TestMovingAverageWideWindow pins the all-covering case: every output is
+// the global mean once the window spans the whole input.
+func TestMovingAverageWideWindow(t *testing.T) {
+	xs := []float64{2, 4, 6, 8}
+	out := MovingAverage(xs, 99)
+	for i, v := range out {
+		if math.Abs(v-5) > eps {
+			t.Fatalf("wide ma[%d] = %v, want 5", i, v)
 		}
 	}
 }

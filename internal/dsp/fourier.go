@@ -3,25 +3,71 @@ package dsp
 import (
 	"fmt"
 	"math"
-	"math/cmplx"
+	"sync"
 )
 
-// DFT computes the discrete Fourier transform of x (O(n²), fine for the
-// 30-subcarrier vectors this repository transforms).
+// twiddleSet holds the unit phasors of one transform size: fwd[m] =
+// e^{-j2πm/N} and inv[m] = e^{+j2πm/N}. The exponent of the (k,t) term of a
+// DFT is k·t mod N, so one table of N entries serves the whole O(N²)
+// transform — the per-frame power-delay-profile transform in core touches no
+// trig at all once its size is cached.
+type twiddleSet struct {
+	fwd, inv []complex128
+}
+
+// twiddleCache maps transform size → *twiddleSet. Sizes are few (the CSI
+// pipeline transforms 30-point vectors) and workers are many, so a
+// lock-free-on-read sync.Map fits.
+var twiddleCache sync.Map
+
+func twiddles(n int) *twiddleSet {
+	if v, ok := twiddleCache.Load(n); ok {
+		return v.(*twiddleSet)
+	}
+	ts := &twiddleSet{
+		fwd: make([]complex128, n),
+		inv: make([]complex128, n),
+	}
+	for m := 0; m < n; m++ {
+		sin, cos := math.Sincos(2 * math.Pi * float64(m) / float64(n))
+		ts.fwd[m] = complex(cos, -sin)
+		ts.inv[m] = complex(cos, sin)
+	}
+	v, _ := twiddleCache.LoadOrStore(n, ts)
+	return v.(*twiddleSet)
+}
+
+// DFT computes the discrete Fourier transform of x (O(n²) with cached
+// twiddle factors, fine for the 30-subcarrier vectors this repository
+// transforms).
 //
 //	X[k] = Σ_n x[n]·e^{-j2πkn/N}
 func DFT(x []complex128) []complex128 {
+	out := make([]complex128, len(x))
+	DFTInto(out, x)
+	return out
+}
+
+// DFTInto is DFT writing into a caller-provided buffer of len(x), for
+// allocation-free hot paths. dst and x must not alias.
+func DFTInto(dst, x []complex128) {
 	n := len(x)
-	out := make([]complex128, n)
+	if n == 0 {
+		return
+	}
+	w := twiddles(n).fwd
 	for k := 0; k < n; k++ {
 		var sum complex128
+		idx := 0
 		for t := 0; t < n; t++ {
-			angle := -2 * math.Pi * float64(k) * float64(t) / float64(n)
-			sum += x[t] * cmplx.Exp(complex(0, angle))
+			sum += x[t] * w[idx]
+			idx += k
+			if idx >= n {
+				idx -= n
+			}
 		}
-		out[k] = sum
+		dst[k] = sum
 	}
-	return out
 }
 
 // IDFT computes the inverse discrete Fourier transform with 1/N scaling so
@@ -36,13 +82,22 @@ func IDFT(x []complex128) []complex128 {
 // allocation-free hot paths. dst and x must not alias.
 func IDFTInto(dst, x []complex128) {
 	n := len(x)
+	if n == 0 {
+		return
+	}
+	w := twiddles(n).inv
+	scale := complex(1/float64(n), 0)
 	for k := 0; k < n; k++ {
 		var sum complex128
+		idx := 0
 		for t := 0; t < n; t++ {
-			angle := 2 * math.Pi * float64(k) * float64(t) / float64(n)
-			sum += x[t] * cmplx.Exp(complex(0, angle))
+			sum += x[t] * w[idx]
+			idx += k
+			if idx >= n {
+				idx -= n
+			}
 		}
-		dst[k] = sum / complex(float64(n), 0)
+		dst[k] = sum * scale
 	}
 }
 
@@ -120,7 +175,8 @@ func InterpolateComplexInto(out []complex128, xs []float64, ys []complex128, tar
 }
 
 // MovingAverage smooths xs with a centered window of the given odd width.
-// Edges use the available partial window.
+// Edges use the available partial window. It runs in O(n) via a prefix sum
+// regardless of width.
 func MovingAverage(xs []float64, width int) []float64 {
 	if width < 1 {
 		width = 1
@@ -129,6 +185,11 @@ func MovingAverage(xs []float64, width int) []float64 {
 		width++
 	}
 	half := width / 2
+	// prefix[i] = Σ xs[:i], so a window sum is one subtraction.
+	prefix := make([]float64, len(xs)+1)
+	for i, x := range xs {
+		prefix[i+1] = prefix[i] + x
+	}
 	out := make([]float64, len(xs))
 	for i := range xs {
 		lo := i - half
@@ -139,11 +200,7 @@ func MovingAverage(xs []float64, width int) []float64 {
 		if hi > len(xs)-1 {
 			hi = len(xs) - 1
 		}
-		var sum float64
-		for j := lo; j <= hi; j++ {
-			sum += xs[j]
-		}
-		out[i] = sum / float64(hi-lo+1)
+		out[i] = (prefix[hi+1] - prefix[lo]) / float64(hi-lo+1)
 	}
 	return out
 }

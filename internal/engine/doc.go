@@ -1,0 +1,18 @@
+// Package engine is the concurrent multi-link monitoring engine: it manages
+// a fleet of WiFi links end-to-end the way the paper's deployment story
+// (§IV–§V) prescribes — assess and calibrate each link's static profile,
+// then monitor every link continuously and fuse the per-link verdicts into
+// one site-level presence decision.
+//
+// Calibration runs per link in parallel on a bounded worker pool. During
+// monitoring, one assembler goroutine per link slices the link's frame
+// stream (a csinet client, a simulated extractor, or a recorded replay)
+// into fixed-size windows and feeds a shared scoring pool whose workers
+// reuse per-worker core.Scratch buffers, keeping the hot path free of
+// per-window allocations. Sources that implement FrameRecycler (such as
+// PooledExtractorSource) get their frames back after each window is scored,
+// so steady-state monitoring allocates neither frames nor windows. Per-link
+// core.Decisions are fused by a pluggable FusionPolicy (k-of-n, max-score),
+// and a snapshotable Metrics block tracks windows scored, scoring
+// throughput and per-link mean multipath factor μ.
+package engine

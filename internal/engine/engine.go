@@ -1,17 +1,3 @@
-// Package engine is the concurrent multi-link monitoring engine: it manages
-// a fleet of WiFi links end-to-end the way the paper's deployment story
-// (§IV–§V) prescribes — assess and calibrate each link's static profile,
-// then monitor every link continuously and fuse the per-link verdicts into
-// one site-level presence decision.
-//
-// Calibration runs per link in parallel on a bounded worker pool. During
-// monitoring, one assembler goroutine per link slices the link's frame
-// stream (a csinet client, a simulated extractor, or a recorded replay)
-// into fixed-size windows and feeds a shared scoring pool whose workers
-// reuse per-worker core.Scratch buffers, keeping the hot path free of
-// per-window allocations. Per-link core.Decisions are fused by a pluggable
-// FusionPolicy (k-of-n, max-score), and a snapshotable Metrics block tracks
-// windows scored, scoring throughput and per-link mean multipath factor μ.
 package engine
 
 import (
@@ -83,9 +69,10 @@ func (c Config) withDefaults() Config {
 
 // link is one monitored TX–RX pair.
 type link struct {
-	id  string
-	cfg core.Config
-	src Source
+	id       string
+	cfg      core.Config
+	src      Source
+	recycler FrameRecycler // non-nil when src pools its frames
 
 	mu       sync.Mutex
 	det      *core.Detector
@@ -146,6 +133,7 @@ func (e *Engine) AddLink(id string, cfg core.Config, src Source) error {
 		return fmt.Errorf("%w: %s", ErrDuplicateLink, id)
 	}
 	l := &link{id: id, cfg: cfg, src: src}
+	l.recycler, _ = src.(FrameRecycler)
 	e.links = append(e.links, l)
 	e.byID[id] = l
 	return nil
@@ -274,6 +262,12 @@ func (e *Engine) calibrateLink(ctx context.Context, l *link, n int) error {
 	meanMu, err := linkMeanMu(cal, l.cfg)
 	if err != nil {
 		return err
+	}
+	// Holdout frames are done; calibration frames may be recycled only when
+	// sanitization is on (otherwise the profile retains them directly).
+	l.recycleFrames(holdout)
+	if l.cfg.Sanitize {
+		l.recycleFrames(cal)
 	}
 	l.mu.Lock()
 	l.det = det
@@ -411,6 +405,7 @@ func (e *Engine) assemble(ctx context.Context, l *link, windowsPerLink int, jobs
 		var err error
 		*buf, err = e.pull(ctx, l.src, *buf, e.cfg.WindowSize)
 		if err != nil {
+			l.recycleFrames(*buf)
 			e.windowPool.Put(buf)
 			if errors.Is(err, io.EOF) || errors.Is(err, context.Canceled) {
 				return nil
@@ -420,6 +415,7 @@ func (e *Engine) assemble(ctx context.Context, l *link, windowsPerLink int, jobs
 		select {
 		case jobs <- scoreJob{l: l, window: buf}:
 		case <-ctx.Done():
+			l.recycleFrames(*buf)
 			e.windowPool.Put(buf)
 			return nil
 		}
@@ -427,11 +423,25 @@ func (e *Engine) assemble(ctx context.Context, l *link, windowsPerLink int, jobs
 	return nil
 }
 
+// recycleFrames hands a scored window's frames back to a pooling source.
+// Safe after scoring: the detector's profile never retains monitoring
+// frames (the sanitize path copies into scratch-owned buffers, and the raw
+// path only reads).
+func (l *link) recycleFrames(frames []*csi.Frame) {
+	if l.recycler == nil {
+		return
+	}
+	for _, f := range frames {
+		l.recycler.Recycle(f)
+	}
+}
+
 // score runs one window through the link's detector with the worker's
 // scratch and folds the decision into the link and engine state.
 func (e *Engine) score(job scoreJob, sc *core.Scratch) error {
 	l := job.l
 	dec, err := l.det.DetectScratch(*job.window, sc)
+	l.recycleFrames(*job.window)
 	*job.window = (*job.window)[:0]
 	e.windowPool.Put(job.window)
 	if err != nil {

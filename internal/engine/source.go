@@ -21,6 +21,14 @@ type SourceFunc func() (*csi.Frame, error)
 // Next calls the function.
 func (f SourceFunc) Next() (*csi.Frame, error) { return f() }
 
+// FrameRecycler is implemented by sources whose frames the engine should
+// hand back once a window has been scored. Recycle may be called from a
+// scoring worker concurrently with Next, so implementations must be safe for
+// that pairing.
+type FrameRecycler interface {
+	Recycle(*csi.Frame)
+}
+
 // ExtractorSource streams simulated captures from a csi.Extractor with a
 // fixed set of bodies present (nil = empty room). The extractor must not be
 // shared with another goroutine while the engine owns the source.
@@ -29,6 +37,40 @@ func ExtractorSource(x *csi.Extractor, bodies []body.Body) Source {
 		return x.Capture(bodies), nil
 	})
 }
+
+// pooledExtractorSource is ExtractorSource with a frame pool: captures write
+// into recycled frames via the allocation-free CaptureInto path, and the
+// engine returns scored frames through Recycle.
+type pooledExtractorSource struct {
+	x      *csi.Extractor
+	bodies []body.Body
+	pool   *csi.FramePool
+}
+
+// PooledExtractorSource streams simulated captures through a frame pool —
+// the allocation-free capture path for long-running fleets. The engine
+// recycles each frame after its window is scored (see FrameRecycler);
+// callers that hold frames beyond the OnDecision callback must Clone them.
+func PooledExtractorSource(x *csi.Extractor, bodies []body.Body) Source {
+	return &pooledExtractorSource{
+		x:      x,
+		bodies: bodies,
+		pool:   csi.NewFramePool(len(x.Env.RX.Elements), x.Grid.Len()),
+	}
+}
+
+// Next implements Source.
+func (s *pooledExtractorSource) Next() (*csi.Frame, error) {
+	f := s.pool.Get()
+	if err := s.x.CaptureInto(f, s.bodies); err != nil {
+		s.pool.Put(f)
+		return nil, err
+	}
+	return f, nil
+}
+
+// Recycle implements FrameRecycler.
+func (s *pooledExtractorSource) Recycle(f *csi.Frame) { s.pool.Put(f) }
 
 // ClientSource streams frames received from a csinet server — the
 // distributed deployment where receiver daemons export CSI over TCP.

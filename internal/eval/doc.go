@@ -1,0 +1,4 @@
+// Package eval provides the detection-performance machinery of §V:
+// true-positive/false-positive rates, ROC sweeps, the balanced operating
+// point the paper reports, AUC, and error CDF helpers.
+package eval

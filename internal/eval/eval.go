@@ -1,6 +1,3 @@
-// Package eval provides the detection-performance machinery of §V:
-// true-positive/false-positive rates, ROC sweeps, the balanced operating
-// point the paper reports, AUC, and error CDF helpers.
 package eval
 
 import (

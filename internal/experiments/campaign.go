@@ -86,10 +86,11 @@ func sessionDetectors(s *scenario.Scenario, cal []*csi.Frame) (map[core.Scheme]*
 	return out, nil
 }
 
-// scoreWindow scores one window under every scheme and appends samples.
-func (c *Campaign) scoreWindow(dets map[core.Scheme]*core.Detector, window []*csi.Frame, tmpl DetectionSample) error {
+// scoreWindow scores one window under every scheme with a shared scratch
+// and appends samples.
+func (c *Campaign) scoreWindow(dets map[core.Scheme]*core.Detector, window []*csi.Frame, tmpl DetectionSample, sc *core.Scratch) error {
 	for _, scheme := range Schemes {
-		score, err := dets[scheme].Score(window)
+		score, err := dets[scheme].ScoreScratch(window, sc)
 		if err != nil {
 			return fmt.Errorf("score %v: %w", scheme, err)
 		}
@@ -122,6 +123,11 @@ func newBackground(s *scenario.Scenario, people int, rng *rand.Rand) (*scenario.
 // the baseline.
 func (c *Campaign) runSession(s *scenario.Scenario, cfg CampaignConfig, caseID int, session int64, locations []geom.Point) error {
 	rng := rand.New(rand.NewSource(cfg.Seed*101 + int64(caseID)*13 + session))
+	// One frame pool and scoring scratch serve the whole session: every
+	// captured window is scored, then recycled (the detectors sanitize, so
+	// profiles never retain pooled frames).
+	pool := csi.NewFramePool(len(s.Env.RX.Elements), s.Grid.Len())
+	sc := core.NewScratch()
 
 	calSess, err := s.NewSession(session * 1000)
 	if err != nil {
@@ -135,11 +141,15 @@ func (c *Campaign) runSession(s *scenario.Scenario, cfg CampaignConfig, caseID i
 	if err != nil {
 		return err
 	}
-	cal := captureWindow(calX, cfg.CalibrationPackets, nil, calBg)
+	cal, err := capturePooledWindow(calX, pool, cfg.CalibrationPackets, nil, calBg)
+	if err != nil {
+		return err
+	}
 	dets, err := sessionDetectors(calSess, cal)
 	if err != nil {
 		return err
 	}
+	recycleWindow(pool, cal)
 
 	for li, loc := range locations {
 		// Each location is measured in its own drifted sub-session.
@@ -164,17 +174,25 @@ func (c *Campaign) runSession(s *scenario.Scenario, cfg CampaignConfig, caseID i
 			AngleDeg:     geom.RadToDeg(rel),
 		}
 		for w := 0; w < cfg.WindowsPerLocation; w++ {
-			window := captureJitteredWindow(monX, cfg.WindowPackets, body.Default(loc), 0.015, bg, rng)
-			if err := c.scoreWindow(dets, window, tmpl); err != nil {
+			window, err := capturePooledJitteredWindow(monX, pool, cfg.WindowPackets, body.Default(loc), 0.015, bg, rng)
+			if err != nil {
 				return err
 			}
+			if err := c.scoreWindow(dets, window, tmpl, sc); err != nil {
+				return err
+			}
+			recycleWindow(pool, window)
 		}
 		// Matched negative windows from the same drifted session.
 		for w := 0; w < cfg.WindowsPerLocation; w++ {
-			window := captureWindow(monX, cfg.WindowPackets, nil, bg)
-			if err := c.scoreWindow(dets, window, DetectionSample{Case: caseID}); err != nil {
+			window, err := capturePooledWindow(monX, pool, cfg.WindowPackets, nil, bg)
+			if err != nil {
 				return err
 			}
+			if err := c.scoreWindow(dets, window, DetectionSample{Case: caseID}, sc); err != nil {
+				return err
+			}
+			recycleWindow(pool, window)
 		}
 	}
 	return nil

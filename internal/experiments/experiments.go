@@ -27,11 +27,34 @@ func renderSeries(b *strings.Builder, s Series, xLabel, yLabel string) {
 	}
 }
 
-// captureWindow captures n packets with an optional static target plus
-// stepping background dynamics.
-func captureWindow(x *csi.Extractor, n int, target *body.Body, bg *scenario.Background) []*csi.Frame {
+// captureSeq drives n captures, building each packet's bodies with next.
+// With a pool, frames are drawn from it via the allocation-free CaptureInto
+// path and must be handed back with recycleWindow once scored; with a nil
+// pool each capture allocates a fresh frame. All window-capture helpers
+// funnel through here so the order-sensitive body assembly (background step,
+// then jitter draw) has exactly one implementation.
+func captureSeq(x *csi.Extractor, pool *csi.FramePool, n int, next func() []body.Body) ([]*csi.Frame, error) {
 	frames := make([]*csi.Frame, 0, n)
 	for i := 0; i < n; i++ {
+		bodies := next()
+		if pool == nil {
+			frames = append(frames, x.Capture(bodies))
+			continue
+		}
+		f := pool.Get()
+		if err := x.CaptureInto(f, bodies); err != nil {
+			pool.Put(f)
+			return nil, err
+		}
+		frames = append(frames, f)
+	}
+	return frames, nil
+}
+
+// staticBodies builds per-packet body sets: the stepped background plus an
+// optional static target.
+func staticBodies(bg *scenario.Background, target *body.Body) func() []body.Body {
+	return func() []body.Body {
 		var bodies []body.Body
 		if bg != nil {
 			bodies = bg.Step()
@@ -39,18 +62,17 @@ func captureWindow(x *csi.Extractor, n int, target *body.Body, bg *scenario.Back
 		if target != nil {
 			bodies = append(bodies, *target)
 		}
-		frames = append(frames, x.Capture(bodies))
+		return bodies
 	}
-	return frames
 }
 
-// captureJitteredWindow is captureWindow with per-packet position jitter on
-// the target (people are never perfectly static, which is what makes
-// packet-averaged AoA estimation work — §V-B3).
-func captureJitteredWindow(x *csi.Extractor, n int, target body.Body, jitter float64, bg *scenario.Background, rng *rand.Rand) []*csi.Frame {
-	frames := make([]*csi.Frame, 0, n)
+// jitteredBodies is staticBodies with per-packet position jitter on the
+// target (people are never perfectly static, which is what makes
+// packet-averaged AoA estimation work — §V-B3). The background steps before
+// the jitter normals are drawn, matching the historical variate order.
+func jitteredBodies(bg *scenario.Background, target body.Body, jitter float64, rng *rand.Rand) func() []body.Body {
 	base := target.Position
-	for i := 0; i < n; i++ {
+	return func() []body.Body {
 		var bodies []body.Body
 		if bg != nil {
 			bodies = bg.Step()
@@ -60,10 +82,39 @@ func captureJitteredWindow(x *csi.Extractor, n int, target body.Body, jitter flo
 			X: base.X + rng.NormFloat64()*jitter,
 			Y: base.Y + rng.NormFloat64()*jitter,
 		}
-		bodies = append(bodies, t)
-		frames = append(frames, x.Capture(bodies))
+		return append(bodies, t)
 	}
+}
+
+// captureWindow captures n packets with an optional static target plus
+// stepping background dynamics.
+func captureWindow(x *csi.Extractor, n int, target *body.Body, bg *scenario.Background) []*csi.Frame {
+	frames, _ := captureSeq(x, nil, n, staticBodies(bg, target)) // nil pool: cannot fail
 	return frames
+}
+
+// captureJitteredWindow is captureWindow with per-packet target jitter.
+func captureJitteredWindow(x *csi.Extractor, n int, target body.Body, jitter float64, bg *scenario.Background, rng *rand.Rand) []*csi.Frame {
+	frames, _ := captureSeq(x, nil, n, jitteredBodies(bg, target, jitter, rng)) // nil pool: cannot fail
+	return frames
+}
+
+// capturePooledWindow is captureWindow on pooled frames — the campaign
+// drivers' hot loop.
+func capturePooledWindow(x *csi.Extractor, pool *csi.FramePool, n int, target *body.Body, bg *scenario.Background) ([]*csi.Frame, error) {
+	return captureSeq(x, pool, n, staticBodies(bg, target))
+}
+
+// capturePooledJitteredWindow is captureJitteredWindow on pooled frames.
+func capturePooledJitteredWindow(x *csi.Extractor, pool *csi.FramePool, n int, target body.Body, jitter float64, bg *scenario.Background, rng *rand.Rand) ([]*csi.Frame, error) {
+	return captureSeq(x, pool, n, jitteredBodies(bg, target, jitter, rng))
+}
+
+// recycleWindow returns a scored window's frames to the pool.
+func recycleWindow(pool *csi.FramePool, frames []*csi.Frame) {
+	for _, f := range frames {
+		pool.Put(f)
+	}
 }
 
 // randNew returns a seeded RNG (shorthand used by figure drivers).

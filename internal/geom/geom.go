@@ -1,9 +1,3 @@
-// Package geom provides the 2-D geometry primitives the ray tracer is built
-// on: points, segments, mirror images (for the image method of specular
-// reflection), point-segment distances, and intersection tests.
-//
-// Rooms are modelled in the horizontal plane; antenna height differences are
-// folded into path lengths by the propagation package where needed.
 package geom
 
 import (

@@ -1,0 +1,10 @@
+// Package linalg provides the small dense complex linear-algebra kernel the
+// rest of the repository builds on: complex vectors, matrices, and a
+// Hermitian eigendecomposition.
+//
+// The standard library has no linear algebra, and MUSIC (internal/music)
+// needs eigenvectors of small Hermitian covariance matrices, so this package
+// implements a cyclic Jacobi eigensolver from scratch. Sizes are small
+// (antenna counts, subcarrier counts), so clarity is favoured over blocking
+// or SIMD tricks.
+package linalg

@@ -1,9 +1,3 @@
-// Package music implements the MUltiple SIgnal Classification (MUSIC)
-// angle-of-arrival estimator the paper uses (§IV-B1, Eq. 16, reference
-// [23]): the spatial covariance of per-antenna CSI snapshots is
-// eigendecomposed, the eigenvectors beyond the signal count span the noise
-// subspace, and arrival angles appear as peaks of the angular
-// pseudospectrum P(θ) = 1/(aᴴ(θ)·En·Enᴴ·a(θ)).
 package music
 
 import (

@@ -89,7 +89,9 @@ type Environment struct {
 	RX     Array
 	Params LinkParams
 
-	staticRays [][]Ray // per receive element
+	staticRays [][]Ray      // per receive element
+	rayConsts  [][]rayConst // per-ray frequency-independent constants
+	cache      *gridCache   // per-grid phasor tables, built by PrepareGrid
 }
 
 // NewEnvironment validates the geometry and eagerly traces the static rays
@@ -113,7 +115,9 @@ func NewEnvironment(room *Room, tx geom.Point, rx Array, params LinkParams, maxB
 		}
 		static[i] = rays
 	}
-	return &Environment{Room: room, TX: tx, RX: rx, Params: params, staticRays: static}, nil
+	env := &Environment{Room: room, TX: tx, RX: rx, Params: params, staticRays: static}
+	env.buildRayConsts()
+	return env, nil
 }
 
 // StaticRays returns the environment-only rays (LOS + wall bounces) for a

@@ -1,0 +1,68 @@
+package scenario
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"mlink/internal/body"
+	"mlink/internal/geom"
+	"mlink/internal/propagation"
+)
+
+// TestCachedResponseMatchesNaiveAcrossPresets is the preset half of the
+// cache-consistency property: for every scenario preset, the cached
+// ResponseInto path must match the naive per-ray Response to <1e-9 with an
+// empty room and with 1–3 bodies placed around the link.
+func TestCachedResponseMatchesNaiveAcrossPresets(t *testing.T) {
+	presets := map[string]func() (*Scenario, error){
+		"classroom":  func() (*Scenario, error) { return Classroom(3) },
+		"short-link": func() (*Scenario, error) { return ShortLinkNearWall(3) },
+	}
+	for n := 1; n <= NumLinkCases; n++ {
+		n := n
+		presets[fmt.Sprintf("case%d", n)] = func() (*Scenario, error) { return LinkCase(n, 3) }
+	}
+	for name, build := range presets {
+		t.Run(name, func(t *testing.T) {
+			s, err := build()
+			if err != nil {
+				t.Fatal(err)
+			}
+			freqs := s.Grid.Frequencies()
+			if err := s.Env.PrepareGrid(freqs); err != nil {
+				t.Fatal(err)
+			}
+			mid := s.LinkMidpoint()
+			bodySets := [][]body.Body{
+				nil,
+				{body.Default(mid)},
+				{body.Default(mid), body.Default(s.TX().Add(geom.Point{X: 0.4, Y: 0.6}))},
+				{
+					body.Default(mid),
+					body.Default(mid.Add(geom.Point{X: -0.7, Y: 0.3})),
+					body.Default(s.RXCenter().Add(geom.Point{X: -0.5, Y: -0.9})),
+				},
+			}
+			dst := make([][]complex128, len(s.Env.RX.Elements))
+			for i := range dst {
+				dst[i] = make([]complex128, len(freqs))
+			}
+			sc := &propagation.ResponseScratch{}
+			for bi, bodies := range bodySets {
+				naive := s.Env.Response(freqs, bodies)
+				if err := s.Env.ResponseInto(dst, bodies, sc); err != nil {
+					t.Fatalf("bodies=%d: %v", len(bodies), err)
+				}
+				for i := range naive {
+					for k := range naive[i] {
+						d := naive[i][k] - dst[i][k]
+						if mag := math.Hypot(real(d), imag(d)); mag > 1e-9 {
+							t.Fatalf("set %d elem %d sub %d: divergence %v > 1e-9", bi, i, k, mag)
+						}
+					}
+				}
+			}
+		})
+	}
+}
