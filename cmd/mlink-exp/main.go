@@ -15,6 +15,7 @@ import (
 	"strings"
 
 	"mlink/internal/experiments"
+	"mlink/internal/scenario"
 )
 
 type runner func(seed int64, full bool) (string, error)
@@ -160,12 +161,36 @@ var runners = map[string]runner{
 		}
 		return r.Render(), nil
 	},
+	// drift is not a paper figure: it is the adaptation experiment this
+	// repo adds on top (frozen vs adaptive detector on the drift presets).
+	"drift": func(seed int64, full bool) (string, error) {
+		var b strings.Builder
+		presets := []scenario.DriftPreset{
+			scenario.NoDrift(),
+			scenario.GainWalk(12),
+			scenario.CFOWalk(60, 0.05),
+			scenario.FurnitureMove(600),
+		}
+		for _, p := range presets {
+			cfg := experiments.DriftExperimentConfig{Preset: p, Seed: seed}
+			if !full {
+				cfg.MonitorMultiple = 6
+			}
+			r, err := experiments.RunDriftAdaptation(cfg)
+			if err != nil {
+				return "", err
+			}
+			b.WriteString(r.Render())
+			b.WriteString("\n")
+		}
+		return b.String(), nil
+	},
 }
 
 // order fixes the rendering sequence for -run all.
 var order = []string{
 	"fig2a", "fig2b", "fig3a", "fig3bc", "fig4", "fig5b", "fig5c",
-	"fig7", "fig8", "fig9", "fig10", "fig11", "fig12",
+	"fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "drift",
 }
 
 var (

@@ -4,9 +4,15 @@
 // links concurrently and prints rolling site-level verdicts fused across
 // the fleet.
 //
+// Online adaptation and environment drift are first-class: -adapt enables
+// per-link profile refresh / threshold re-derivation / drift quarantine,
+// and -drift injects a drift preset (gain walk, CFO walk, furniture move)
+// into every link so the adaptation can be watched working.
+//
 // Usage:
 //
 //	mlink-serve -links 5 -scheme subcarrier -workers 4 -windows 8 -occupied 3
+//	mlink-serve -links 3 -adapt -drift gain -drift-rate 12 -windows 40 -fusion weighted
 package main
 
 import (
@@ -45,10 +51,27 @@ func fusionOf(name string, k int) (mlink.FusionPolicy, error) {
 	switch name {
 	case "kofn":
 		return mlink.KOfN{K: k}, nil
+	case "weighted":
+		return mlink.WeightedKOfN{K: k}, nil
 	case "max":
 		return mlink.MaxScore{}, nil
 	default:
-		return nil, fmt.Errorf("unknown fusion %q (kofn|max)", name)
+		return nil, fmt.Errorf("unknown fusion %q (kofn|weighted|max)", name)
+	}
+}
+
+func driftOf(name string, gainRate float64, stepAt int) (mlink.DriftPreset, bool, error) {
+	switch name {
+	case "", "none":
+		return mlink.DriftPreset{}, false, nil
+	case "gain":
+		return mlink.GainWalkDrift(gainRate), true, nil
+	case "cfo":
+		return mlink.CFOWalkDrift(60, 0.05), true, nil
+	case "furniture":
+		return mlink.FurnitureMoveDrift(stepAt), true, nil
+	default:
+		return mlink.DriftPreset{}, false, fmt.Errorf("unknown drift %q (none|gain|cfo|furniture)", name)
 	}
 }
 
@@ -61,9 +84,13 @@ func run() error {
 		window     = flag.Int("window", 25, "monitoring window packets")
 		windows    = flag.Int("windows", 8, "windows per link (0 = run until interrupted)")
 		occupied   = flag.Int("occupied", 0, "1-based index of a link with a person at its midpoint (0 = all empty)")
-		fusionName = flag.String("fusion", "kofn", "site fusion policy: kofn|max")
+		fusionName = flag.String("fusion", "kofn", "site fusion policy: kofn|weighted|max")
 		k          = flag.Int("k", 1, "K for k-of-n fusion (0 = majority)")
 		seed       = flag.Int64("seed", 1, "base simulation seed")
+		adaptOn    = flag.Bool("adapt", false, "enable per-link online adaptation (profile refresh, threshold re-derivation, drift quarantine)")
+		driftName  = flag.String("drift", "none", "environment drift preset applied to every link: none|gain|cfo|furniture")
+		driftRate  = flag.Float64("drift-rate", 12, "gain-walk slope in dB/min (for -drift gain)")
+		driftStep  = flag.Int("drift-step", 600, "furniture-move packet (for -drift furniture)")
 	)
 	flag.Parse()
 
@@ -72,6 +99,10 @@ func run() error {
 		return err
 	}
 	fusion, err := fusionOf(*fusionName, *k)
+	if err != nil {
+		return err
+	}
+	drift, driftEnabled, err := driftOf(*driftName, *driftRate, *driftStep)
 	if err != nil {
 		return err
 	}
@@ -106,6 +137,12 @@ func run() error {
 		},
 	})
 
+	if *adaptOn {
+		if err := eng.EnableAdaptation(); err != nil {
+			return err
+		}
+	}
+
 	for i := 1; i <= *nLinks; i++ {
 		caseN := (i-1)%5 + 1
 		sys, err := mlink.NewLinkCaseSystem(caseN, scheme, *seed+int64(i))
@@ -118,7 +155,12 @@ func run() error {
 			mid := sys.Scenario.LinkMidpoint()
 			people = append(people, &mlink.Person{X: mid.X, Y: mid.Y})
 		}
-		if err := eng.AddLink(id, sys, people...); err != nil {
+		if driftEnabled {
+			err = eng.AddDriftLink(id, sys, drift, people...)
+		} else {
+			err = eng.AddLink(id, sys, people...)
+		}
+		if err != nil {
 			return err
 		}
 	}
@@ -142,6 +184,13 @@ func run() error {
 	m := eng.Metrics()
 	fmt.Printf("\nscored %d windows (%d frames) at %.1f windows/s across %d links\n",
 		m.WindowsScored, m.FramesSeen, m.ScoresPerSec, m.Links)
+	if *adaptOn {
+		for _, lm := range m.PerLink {
+			h := lm.Health
+			fmt.Printf("  link %-10s health %-11s  z %6.1f  shift %5.2f dB  refreshes %3d  thr %7.4f  recal-needed %v\n",
+				lm.ID, h.State, h.DriftZ, h.ProfileShiftDB, h.Refreshes, lm.Threshold, h.NeedsRecalibration)
+		}
+	}
 	v, err := eng.Verdict()
 	if err != nil {
 		return err

@@ -4,9 +4,11 @@ import (
 	"context"
 	"fmt"
 
+	"mlink/internal/adapt"
 	"mlink/internal/body"
 	"mlink/internal/csi"
 	"mlink/internal/engine"
+	"mlink/internal/scenario"
 )
 
 // Fleet-level types, re-exported from the internal engine so facade users
@@ -14,18 +16,51 @@ import (
 type (
 	// SiteVerdict is the fused presence verdict over all monitored links.
 	SiteVerdict = engine.SiteVerdict
-	// LinkDecision pairs a link ID with its latest decision.
+	// LinkDecision pairs a link ID with its latest decision, fusion weight
+	// and adaptation health.
 	LinkDecision = engine.LinkDecision
 	// FusionPolicy combines per-link decisions into a site verdict.
 	FusionPolicy = engine.FusionPolicy
 	// KOfN fuses by counting positive links against a threshold K.
 	KOfN = engine.KOfN
+	// WeightedKOfN fuses by quality-weighted voting: link votes carry the
+	// characterized mean multipath factor μ scaled by adaptation health.
+	WeightedKOfN = engine.WeightedKOfN
 	// MaxScore fuses by the maximum threshold-normalized link score.
 	MaxScore = engine.MaxScore
 	// EngineMetrics snapshots the engine's counters.
 	EngineMetrics = engine.Metrics
 	// LinkMetrics is one link's slice of the metrics block.
 	LinkMetrics = engine.LinkMetrics
+	// AdaptationPolicy parameterizes per-link online adaptation (the zero
+	// value selects the documented defaults).
+	AdaptationPolicy = adapt.Policy
+	// LinkHealth is a link's adaptation status snapshot.
+	LinkHealth = adapt.Health
+	// HealthState classifies a link's adaptation health.
+	HealthState = adapt.State
+	// DriftPreset parameterizes a first-class environment-drift scenario.
+	DriftPreset = scenario.DriftPreset
+)
+
+// Re-exported adaptation health states.
+const (
+	HealthUnknown     = adapt.StateUnknown
+	HealthHealthy     = adapt.StateHealthy
+	HealthDrifting    = adapt.StateDrifting
+	HealthQuarantined = adapt.StateQuarantined
+)
+
+// Drift presets for simulated links (see internal/scenario).
+var (
+	// NoDrift is the control preset: capture impairments only.
+	NoDrift = scenario.NoDrift
+	// GainWalkDrift ramps receive gain linearly (dB per minute).
+	GainWalkDrift = scenario.GainWalk
+	// CFOWalkDrift models temperature-like oscillator drift.
+	CFOWalkDrift = scenario.CFOWalk
+	// FurnitureMoveDrift is a step change at the given packet.
+	FurnitureMoveDrift = scenario.FurnitureMove
 )
 
 // EngineConfig parameterizes a multi-link Engine.
@@ -36,27 +71,55 @@ type EngineConfig struct {
 	WindowSize int
 	// Fusion is the site-verdict policy (nil = KOfN{K: 1}).
 	Fusion FusionPolicy
+	// Adaptation enables per-link online adaptation for every link
+	// calibrated after it is set (nil = frozen profiles, the pre-PR 3
+	// behaviour). EnableAdaptation is the ergonomic setter.
+	Adaptation *AdaptationPolicy
 	// OnDecision, when non-nil, observes every scored window. It is called
 	// from scoring workers and must be safe for concurrent use.
 	OnDecision func(linkID string, d Decision)
 }
 
 // Engine monitors a fleet of links concurrently: per-link calibration on a
-// bounded worker pool, streaming window scoring, and fused site verdicts —
-// the deployment-scale counterpart of the single-link System.
+// bounded worker pool, streaming window scoring, optional online
+// adaptation, and fused site verdicts — the deployment-scale counterpart of
+// the single-link System.
 type Engine struct {
-	eng     *engine.Engine
-	sources []*phasedSource
+	eng      *engine.Engine
+	sources  []phasedSwitch
+	sourceBy map[string]phasedSwitch
 }
+
+// phasedSwitch is a source whose occupancy activates once calibration ends.
+type phasedSwitch interface{ setMonitoring(bool) }
 
 // NewEngine builds an empty fleet engine.
 func NewEngine(cfg EngineConfig) *Engine {
-	return &Engine{eng: engine.New(engine.Config{
-		Workers:    cfg.Workers,
-		WindowSize: cfg.WindowSize,
-		Fusion:     cfg.Fusion,
-		OnDecision: cfg.OnDecision,
-	})}
+	return &Engine{
+		eng: engine.New(engine.Config{
+			Workers:    cfg.Workers,
+			WindowSize: cfg.WindowSize,
+			Fusion:     cfg.Fusion,
+			Adaptation: cfg.Adaptation,
+			OnDecision: cfg.OnDecision,
+		}),
+		sourceBy: make(map[string]phasedSwitch),
+	}
+}
+
+// EnableAdaptation turns on per-link online adaptation (profile refresh,
+// threshold re-derivation, drift quarantine) for links calibrated from here
+// on. Call it before Calibrate; with no argument the default policy is
+// used. Rejected while the engine is running.
+func (e *Engine) EnableAdaptation(policy ...AdaptationPolicy) error {
+	p := AdaptationPolicy{}
+	if len(policy) > 0 {
+		p = policy[0]
+	}
+	if err := e.eng.SetAdaptation(&p); err != nil {
+		return fmt.Errorf("mlink: %w", err)
+	}
+	return nil
 }
 
 // phasedSource streams simulated captures from a System, with the link's
@@ -87,6 +150,29 @@ func (s *phasedSource) Next() (*Frame, error) {
 // Recycle implements engine.FrameRecycler.
 func (s *phasedSource) Recycle(f *Frame) { s.pool.Put(f) }
 
+func (s *phasedSource) setMonitoring(on bool) { s.monitoring = on }
+
+// phasedDriftSource is phasedSource over a drifting capture stream.
+type phasedDriftSource struct {
+	stream     *scenario.DriftStream
+	bodies     []body.Body
+	monitoring bool
+}
+
+func (s *phasedDriftSource) Next() (*Frame, error) {
+	if s.monitoring {
+		s.stream.SetBodies(s.bodies)
+	} else {
+		s.stream.SetBodies(nil)
+	}
+	return s.stream.Next()
+}
+
+// Recycle implements engine.FrameRecycler.
+func (s *phasedDriftSource) Recycle(f *Frame) { s.stream.Recycle(f) }
+
+func (s *phasedDriftSource) setMonitoring(on bool) { s.monitoring = on }
+
 // AddLink adopts a System as one monitored link under a unique ID. The
 // engine owns the system's extractor from here on — don't keep capturing
 // through the System concurrently. People, if given, stand in the room for
@@ -105,6 +191,28 @@ func (e *Engine) AddLink(id string, sys *System, people ...*Person) error {
 		return fmt.Errorf("mlink: %w", err)
 	}
 	e.sources = append(e.sources, src)
+	e.sourceBy[id] = src
+	return nil
+}
+
+// AddDriftLink adopts a System as a monitored link whose environment drifts
+// per the preset (gain walk, CFO walk, furniture move) — the adversarial
+// scenarios EnableAdaptation exists for. People, if given, enter after
+// calibration, as in AddLink.
+func (e *Engine) AddDriftLink(id string, sys *System, preset DriftPreset, people ...*Person) error {
+	if sys == nil {
+		return fmt.Errorf("mlink: nil system for link %q", id)
+	}
+	stream, err := sys.Scenario.NewDriftStream(preset, 1)
+	if err != nil {
+		return fmt.Errorf("mlink: drift link %q: %w", id, err)
+	}
+	src := &phasedDriftSource{stream: stream, bodies: bodiesOf(people)}
+	if err := e.eng.AddLink(id, sys.cfg, src); err != nil {
+		return fmt.Errorf("mlink: %w", err)
+	}
+	e.sources = append(e.sources, src)
+	e.sourceBy[id] = src
 	return nil
 }
 
@@ -119,7 +227,24 @@ func (e *Engine) Calibrate(n int) error {
 		return fmt.Errorf("mlink calibrate: %w", err)
 	}
 	for _, src := range e.sources {
-		src.monitoring = true
+		src.setMonitoring(true)
+	}
+	return nil
+}
+
+// Recalibrate rebuilds one link's profile, threshold and adapter from a
+// fresh empty-room capture — the recovery path for a link whose health
+// reports NeedsRecalibration. The caller asserts the room is empty again:
+// for simulated links the source is switched back to its calibration phase
+// (people leave) for the duration, exactly as during Calibrate, and
+// re-enters monitoring afterwards.
+func (e *Engine) Recalibrate(linkID string, n int) error {
+	if src, ok := e.sourceBy[linkID]; ok {
+		src.setMonitoring(false)
+		defer src.setMonitoring(true)
+	}
+	if err := e.eng.Recalibrate(context.Background(), linkID, n); err != nil {
+		return fmt.Errorf("mlink recalibrate: %w", err)
 	}
 	return nil
 }
@@ -133,7 +258,8 @@ func (e *Engine) Run(ctx context.Context, windowsPerLink int) error {
 	return nil
 }
 
-// Verdict fuses the latest per-link decisions into the site verdict.
+// Verdict fuses the latest per-link decisions into the site verdict. Each
+// LinkDecision carries the link's fusion weight and adaptation health.
 func (e *Engine) Verdict() (SiteVerdict, error) {
 	v, err := e.eng.Verdict()
 	if err != nil {

@@ -1,0 +1,343 @@
+package adapt
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+
+	"mlink/internal/core"
+	"mlink/internal/csi"
+)
+
+// ErrBadPolicy reports an invalid adaptation policy.
+var ErrBadPolicy = errors.New("adapt: bad policy")
+
+// State is a link's adaptation health classification.
+type State int
+
+const (
+	// StateUnknown: not enough monitoring history yet (also the zero value
+	// reported for links without adaptation).
+	StateUnknown State = iota
+	// StateHealthy: score statistics consistent with calibration.
+	StateHealthy
+	// StateDrifting: the baseline is walking; the profile is being
+	// refreshed and the link's fusion vote is discounted.
+	StateDrifting
+	// StateQuarantined: drift exceeded the critical bound; adaptation
+	// cannot recover the baseline and the link needs recalibration. Its
+	// fusion vote is heavily discounted until then.
+	StateQuarantined
+)
+
+// String names the state.
+func (s State) String() string {
+	switch s {
+	case StateUnknown:
+		return "unknown"
+	case StateHealthy:
+		return "healthy"
+	case StateDrifting:
+		return "drifting"
+	case StateQuarantined:
+		return "quarantined"
+	default:
+		return fmt.Sprintf("state(%d)", int(s))
+	}
+}
+
+// Health is a link's adaptation status snapshot, surfaced per link in the
+// engine's verdicts and metrics.
+type Health struct {
+	// State classifies the link.
+	State State
+	// DriftZ is the current windowed score-statistics z value (0 until the
+	// drift monitor has enough samples).
+	DriftZ float64
+	// ProfileShiftDB is how far the adapted profile has walked from the
+	// calibration original (mean |ΔRSS| in dB).
+	ProfileShiftDB float64
+	// Refreshes counts applied silent-window profile updates.
+	Refreshes uint64
+	// ThresholdUpdates counts online threshold re-derivations.
+	ThresholdUpdates uint64
+	// Threshold is the link's current decision threshold.
+	Threshold float64
+	// NeedsRecalibration is sticky once the link is quarantined; it clears
+	// only when a fresh calibration replaces the adapter.
+	NeedsRecalibration bool
+}
+
+// Weight converts health into a fusion vote multiplier in (0, 1]: healthy
+// and unknown links vote at full weight, drifting links at less than half
+// weight, and any link still flagged NeedsRecalibration — currently
+// quarantined, or recovered from an excursion onto a baseline that may not
+// be the calibrated one — at a small fraction that cannot outvote a
+// healthy link on its own.
+func (h Health) Weight() float64 {
+	if h.NeedsRecalibration {
+		return 0.1
+	}
+	switch h.State {
+	case StateDrifting:
+		return 0.4
+	default:
+		return 1
+	}
+}
+
+// Policy parameterizes per-link adaptation. The zero value selects the
+// defaults noted per field.
+type Policy struct {
+	// Alpha is the EWMA weight of one silent window in the profile refresh
+	// (0 = core.DefaultProfileAlpha).
+	Alpha float64
+	// SilentFraction gates profile refresh: a window refreshes the profile
+	// only when its score ≤ SilentFraction × threshold, i.e. it is
+	// confidently empty, not merely below threshold (default 0.9).
+	SilentFraction float64
+	// TrackBand enables the sustained-tracking refresh that bootstraps a
+	// walked baseline: a window whose score is within TrackBand × σ₀ of the
+	// rolling score mean is consistent with the recent past — a gradual
+	// baseline walk, not an arrival — and refreshes the profile even above
+	// the threshold. A person stepping onto the link is a step change:
+	// outside the band at first, then driving the drift monitor critical
+	// (which suspends tracking refreshes) before the rolling mean can
+	// absorb them. 0 selects 4 (an on-link person registers tens of σ₀, so
+	// the band keeps an order-of-magnitude margin); negative disables
+	// tracking refreshes.
+	TrackBand float64
+	// RederiveEvery re-derives the threshold after this many profile
+	// refreshes (default 8; ≤0 keeps the default, use a huge value to pin
+	// the threshold).
+	RederiveEvery int
+	// NullWindow is the rolling null-score buffer length the threshold is
+	// re-derived from (default 32).
+	NullWindow int
+	// Quantile and Margin parameterize the online threshold re-derivation,
+	// exactly as in core.Detector.CalibrateThreshold (defaults 0.95, 1.3).
+	Quantile, Margin float64
+	// MinThresholdFactor floors the re-derived threshold at this fraction
+	// of the calibration-time threshold, so a long very quiet stretch
+	// cannot collapse the threshold into the noise (default 0.5).
+	MinThresholdFactor float64
+	// Drift parameterizes the windowed score-statistics drift test. The
+	// monitor's reference is rebased onto the rolling null distribution at
+	// every threshold re-derivation, so its critical bound means "walked
+	// away from even the adapted baseline".
+	Drift core.DriftConfig
+}
+
+// withDefaults fills zero fields.
+func (p Policy) withDefaults() Policy {
+	if p.SilentFraction <= 0 {
+		p.SilentFraction = 0.9
+	}
+	if p.TrackBand == 0 {
+		p.TrackBand = 4
+	}
+	if p.RederiveEvery <= 0 {
+		p.RederiveEvery = 8
+	}
+	if p.NullWindow <= 0 {
+		p.NullWindow = 32
+	}
+	if p.Quantile <= 0 || p.Quantile > 1 {
+		p.Quantile = 0.95
+	}
+	if p.Margin <= 0 {
+		p.Margin = 1.3
+	}
+	if p.MinThresholdFactor <= 0 {
+		p.MinThresholdFactor = 0.5
+	}
+	return p
+}
+
+func (p Policy) validate() error {
+	if p.SilentFraction > 1 {
+		return fmt.Errorf("silent fraction %v > 1 would refresh on detections: %w", p.SilentFraction, ErrBadPolicy)
+	}
+	if p.Alpha < 0 || p.Alpha > 1 {
+		return fmt.Errorf("alpha %v out of [0,1]: %w", p.Alpha, ErrBadPolicy)
+	}
+	return nil
+}
+
+// Adapter runs the adaptation policy for one link: it owns the link's
+// mutable profile state and drift monitor, and pushes refreshed profiles
+// and thresholds into the link's detector. Observe is safe for concurrent
+// use.
+type Adapter struct {
+	pol Policy
+
+	mu            sync.Mutex
+	det           *core.Detector
+	lp            *core.LinkProfile
+	mon           *core.DriftMonitor
+	ws            core.WindowStats
+	sc            *core.Scratch
+	nulls         []float64 // rolling null scores, newest appended
+	baseThr       float64   // calibration-time threshold (floor reference)
+	health        Health
+	sinceRederive int
+}
+
+// NewAdapter wires adaptation onto a calibrated detector. calNullScores is
+// the calibration-stage null sample (the same scores the threshold was
+// derived from); it seeds both the rolling null buffer and the drift
+// monitor's reference statistics.
+func NewAdapter(pol Policy, det *core.Detector, calNullScores []float64) (*Adapter, error) {
+	if det == nil {
+		return nil, fmt.Errorf("adapter needs a detector: %w", ErrBadPolicy)
+	}
+	if err := pol.validate(); err != nil {
+		return nil, err
+	}
+	pol = pol.withDefaults()
+	if err := core.ValidateNullScores(calNullScores); err != nil {
+		return nil, fmt.Errorf("adapter null seed: %w", err)
+	}
+	lp, err := core.NewLinkProfile(det.Profile(), pol.Alpha)
+	if err != nil {
+		return nil, fmt.Errorf("adapter: %w", err)
+	}
+	mon, err := core.NewDriftMonitor(pol.Drift, calNullScores)
+	if err != nil {
+		return nil, fmt.Errorf("adapter: %w", err)
+	}
+	nulls := make([]float64, 0, pol.NullWindow)
+	tail := calNullScores
+	if len(tail) > pol.NullWindow {
+		tail = tail[len(tail)-pol.NullWindow:]
+	}
+	nulls = append(nulls, tail...)
+	return &Adapter{
+		pol:     pol,
+		det:     det,
+		lp:      lp,
+		mon:     mon,
+		sc:      core.NewScratch(),
+		nulls:   nulls,
+		baseThr: det.Threshold(),
+		health:  Health{State: StateUnknown, Threshold: det.Threshold()},
+	}, nil
+}
+
+// Policy returns the normalized policy in effect.
+func (a *Adapter) Policy() Policy { return a.pol }
+
+// Health returns the latest health snapshot.
+func (a *Adapter) Health() Health {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.health
+}
+
+// Observe folds one scored monitoring window into the adaptation state:
+// updates the drift monitor, refreshes the profile on confidently silent
+// windows, and periodically re-derives the threshold from the rolling null
+// distribution. The window's frames are only read during the call — the
+// caller may recycle them afterwards. It returns the post-update health.
+func (a *Adapter) Observe(window []*csi.Frame, dec core.Decision) (Health, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+
+	a.mon.Observe(dec.Score)
+	stats := a.mon.Snapshot()
+
+	// Two refresh gates:
+	//   silent — the window is confidently empty (well below threshold);
+	//   tracking — the window is consistent with the recent rolling mean,
+	//   i.e. the baseline has walked gradually under the detector and the
+	//   elevated score is drift, not an arrival. Tracking is suspended once
+	//   the link is quarantined: a parked person must not be absorbed.
+	// A step change (furniture, person) is outside both gates at first and
+	// drives the drift monitor critical before the rolling mean absorbs it.
+	// Tracking is additionally suspended while a step-like jump sits in
+	// the recent score history (stats.JumpExceeded): a level reached by a
+	// jump is an arrival, not a walk, even before the critical latch has
+	// persisted — without this, an intruder whose shift lands between the
+	// track band and the critical bound would be EWMA-absorbed within a
+	// couple of windows. (An arrival below the jump bound remains
+	// statistically indistinguishable from the receiver's own gain
+	// excursions; that residual ambiguity is inherent to a single link.)
+	silent := !dec.Present && dec.Threshold > 0 && dec.Score <= a.pol.SilentFraction*dec.Threshold
+	tracking := !silent && a.pol.TrackBand > 0 &&
+		(stats.State == core.DriftHealthy || stats.State == core.DriftWarning) &&
+		!stats.JumpExceeded &&
+		math.Abs(dec.Score-stats.RecentMean) <= a.pol.TrackBand*stats.RefStd
+	if silent || tracking {
+		if err := a.refreshLocked(window, dec.Score); err != nil {
+			return a.health, err
+		}
+	}
+
+	a.health.DriftZ = stats.Z
+	a.health.ProfileShiftDB = a.lp.ShiftDB()
+	a.health.Refreshes = a.lp.Refreshes()
+	a.health.Threshold = a.det.Threshold()
+	switch stats.State {
+	case core.DriftUnknown:
+		a.health.State = StateUnknown
+	case core.DriftHealthy:
+		a.health.State = StateHealthy
+	case core.DriftWarning:
+		a.health.State = StateDrifting
+	case core.DriftCritical:
+		// The monitor latches critical while the shift persists; the
+		// NeedsRecalibration flag additionally stays sticky after the
+		// state recovers — the baseline that came back may not be the one
+		// that was calibrated (furniture moved twice), so only a fresh
+		// calibration clears the flag.
+		a.health.State = StateQuarantined
+		a.health.NeedsRecalibration = true
+	}
+	return a.health, nil
+}
+
+// refreshLocked applies one silent-window profile refresh and, at the
+// configured cadence, re-derives the threshold from the rolling nulls.
+func (a *Adapter) refreshLocked(window []*csi.Frame, score float64) error {
+	if err := a.det.MeasureWindow(&a.ws, window, a.sc); err != nil {
+		return fmt.Errorf("adapt measure: %w", err)
+	}
+	next, err := a.lp.Refresh(&a.ws)
+	if err != nil {
+		return fmt.Errorf("adapt refresh: %w", err)
+	}
+	if err := a.det.SetProfile(next); err != nil {
+		return fmt.Errorf("adapt swap: %w", err)
+	}
+	if len(a.nulls) == cap(a.nulls) && len(a.nulls) > 0 {
+		a.nulls = a.nulls[:copy(a.nulls, a.nulls[1:])]
+	}
+	a.nulls = append(a.nulls, score)
+
+	a.sinceRederive++
+	if a.sinceRederive < a.pol.RederiveEvery {
+		return nil
+	}
+	a.sinceRederive = 0
+	t, err := core.DeriveThreshold(a.nulls, a.pol.Quantile, a.pol.Margin)
+	if err != nil {
+		// A degenerate rolling sample (e.g. a stuck replay) pins the
+		// current threshold rather than poisoning it.
+		if errors.Is(err, core.ErrBadInput) {
+			return nil
+		}
+		return fmt.Errorf("adapt threshold: %w", err)
+	}
+	if floor := a.pol.MinThresholdFactor * a.baseThr; t < floor {
+		t = floor
+	}
+	a.det.SetThreshold(t)
+	a.health.ThresholdUpdates++
+	// Anchor the drift test to the null distribution now in force: from
+	// here on, "drift" means walking away from the adapted baseline.
+	if err := a.mon.Rebase(a.nulls); err != nil && !errors.Is(err, core.ErrBadInput) {
+		return fmt.Errorf("adapt rebase: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,33 @@
+// Package adapt closes the loop the paper's title promises: it turns the
+// characterized, calibrate-once detector of internal/core into an adaptive
+// one that survives environment non-stationarity (§VI "adaptation";
+// RASID-style profile updating, Kosba et al.).
+//
+// The per-link Adapter observes every scored monitoring window and applies
+// three policies:
+//
+//   - Silent-window profile refresh: windows that score well below the
+//     decision threshold are confidently empty; their statistics are folded
+//     into the link's core.LinkProfile by EWMA, so slow baseline walks
+//     (receiver gain drift, temperature) are tracked instead of accumulating
+//     into false positives.
+//   - Threshold re-derivation: silent-window scores feed a rolling null
+//     distribution, and the decision threshold is re-derived from its
+//     quantile at a fixed cadence — the threshold follows the profile.
+//   - Drift quarantine: a windowed score-statistics test
+//     (core.DriftMonitor) standardizes the rolling score mean against the
+//     calibration-time null statistics. Past the warn bound the link is
+//     flagged Drifting; past the critical bound adaptation has lost the
+//     baseline (step change, dead link) and the link is Quarantined with
+//     NeedsRecalibration set, which the engine layer surfaces and can act
+//     on via Recalibrate.
+//
+// Health snapshots (state, drift z, accumulated profile shift) drive the
+// engine's quality-weighted fusion: a drifting or quarantined link's vote is
+// discounted so it cannot outvote healthy links.
+//
+// An Adapter is safe for concurrent Observe calls (the engine's scoring
+// workers may finish two windows of one link out of order); updates are
+// serialized internally and profile swaps are copy-on-write through
+// core.Detector.SetProfile.
+package adapt

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"mlink/internal/channel"
 	"mlink/internal/csi"
@@ -97,7 +98,10 @@ func (c *Config) wavelength() float64 {
 }
 
 // Profile is the calibration-stage output (§IV-C): the static fingerprint a
-// monitoring window is compared against.
+// monitoring window is compared against. A Profile is treated as immutable
+// once built — the adaptation layer never edits a live Profile in place but
+// swaps in a fresh one (see LinkProfile), so concurrent scorers always see a
+// consistent snapshot.
 type Profile struct {
 	// MeanAmp is the mean linear CSI amplitude per [antenna][subcarrier]
 	// (the baseline's reference).
@@ -127,31 +131,12 @@ func Calibrate(cfg Config, frames []*csi.Frame) (*Profile, error) {
 	if err != nil {
 		return nil, fmt.Errorf("calibrate: %w", err)
 	}
-	nAnt := prep[0].NumAntennas()
-	nSub := prep[0].NumSubcarriers()
-
+	var ws WindowStats
+	meanStatsInto(&ws, prep, make([]float64, prep[0].NumSubcarriers()))
 	p := &Profile{
-		MeanAmp:   zeros2(nAnt, nSub),
-		MeanRSSdB: zeros2(nAnt, nSub),
+		MeanAmp:   ws.MeanAmp,
+		MeanRSSdB: ws.MeanRSSdB,
 		Frames:    prep,
-	}
-	rss := make([]float64, nSub) // reused across frames and antennas
-	for _, f := range prep {
-		for ant := 0; ant < nAnt; ant++ {
-			subcarrierRSSdBInto(rss, f.CSI[ant])
-			for k := 0; k < nSub; k++ {
-				re, im := real(f.CSI[ant][k]), imag(f.CSI[ant][k])
-				p.MeanAmp[ant][k] += math.Hypot(re, im)
-				p.MeanRSSdB[ant][k] += rss[k]
-			}
-		}
-	}
-	scale := 1 / float64(len(prep))
-	for ant := 0; ant < nAnt; ant++ {
-		for k := 0; k < nSub; k++ {
-			p.MeanAmp[ant][k] *= scale
-			p.MeanRSSdB[ant][k] *= scale
-		}
 	}
 
 	if cfg.Scheme == SchemeSubcarrierPath {
@@ -176,9 +161,15 @@ func Calibrate(cfg Config, frames []*csi.Frame) (*Profile, error) {
 	return p, nil
 }
 
-// Detector scores monitoring windows against a calibration profile.
+// Detector scores monitoring windows against a calibration profile: an
+// immutable scoring Kernel plus the mutable link state (current profile and
+// decision threshold). Profile and threshold reads/writes are synchronized,
+// so an adaptation loop may refresh them while scoring workers are active;
+// each scored window sees one consistent (profile, threshold) snapshot.
 type Detector struct {
-	cfg       Config
+	kernel *Kernel
+
+	mu        sync.RWMutex
 	profile   *Profile
 	threshold float64
 }
@@ -186,7 +177,8 @@ type Detector struct {
 // NewDetector pairs a config with its calibration profile. The threshold
 // may be set later via SetThreshold or CalibrateThreshold.
 func NewDetector(cfg Config, profile *Profile) (*Detector, error) {
-	if err := cfg.validate(); err != nil {
+	kernel, err := NewKernel(cfg)
+	if err != nil {
 		return nil, err
 	}
 	if profile == nil || len(profile.Frames) == 0 {
@@ -195,17 +187,52 @@ func NewDetector(cfg Config, profile *Profile) (*Detector, error) {
 	if cfg.Scheme == SchemeSubcarrierPath && (profile.StaticSpectrum == nil || len(profile.PathWeights) == 0) {
 		return nil, fmt.Errorf("profile lacks static spectrum for path weighting: %w", ErrBadInput)
 	}
-	return &Detector{cfg: cfg, profile: profile}, nil
+	return &Detector{kernel: kernel, profile: profile}, nil
 }
 
-// Profile exposes the calibration profile (read-only by convention).
-func (d *Detector) Profile() *Profile { return d.profile }
+// Kernel exposes the detector's immutable scoring kernel.
+func (d *Detector) Kernel() *Kernel { return d.kernel }
+
+// Profile returns the current calibration profile (read-only by convention).
+func (d *Detector) Profile() *Profile {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.profile
+}
+
+// SetProfile atomically swaps in a refreshed profile. The new profile must
+// be treated as immutable from here on; in-flight scorers keep using the
+// snapshot they started with.
+func (d *Detector) SetProfile(p *Profile) error {
+	if p == nil || len(p.MeanAmp) == 0 {
+		return fmt.Errorf("set nil profile: %w", ErrBadInput)
+	}
+	d.mu.Lock()
+	d.profile = p
+	d.mu.Unlock()
+	return nil
+}
 
 // Threshold returns the current decision threshold.
-func (d *Detector) Threshold() float64 { return d.threshold }
+func (d *Detector) Threshold() float64 {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.threshold
+}
 
 // SetThreshold fixes the decision threshold.
-func (d *Detector) SetThreshold(t float64) { d.threshold = t }
+func (d *Detector) SetThreshold(t float64) {
+	d.mu.Lock()
+	d.threshold = t
+	d.mu.Unlock()
+}
+
+// snapshot returns a consistent (profile, threshold) pair.
+func (d *Detector) snapshot() (*Profile, float64) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.profile, d.threshold
+}
 
 // Decision is a monitoring-window verdict.
 type Decision struct {
@@ -219,11 +246,7 @@ type Decision struct {
 
 // Detect scores a monitoring window and applies the threshold.
 func (d *Detector) Detect(window []*csi.Frame) (Decision, error) {
-	score, err := d.Score(window)
-	if err != nil {
-		return Decision{}, err
-	}
-	return Decision{Present: score > d.threshold, Score: score, Threshold: d.threshold}, nil
+	return d.DetectScratch(window, nil)
 }
 
 // Score computes the scheme's distance statistic for a window of M frames
@@ -237,172 +260,14 @@ func (d *Detector) Score(window []*csi.Frame) (float64, error) {
 // and avoids re-allocating the per-window vectors. A nil scratch behaves
 // exactly like Score.
 func (d *Detector) ScoreScratch(window []*csi.Frame, sc *Scratch) (float64, error) {
-	if len(window) == 0 {
-		return 0, fmt.Errorf("empty monitoring window: %w", ErrBadInput)
-	}
-	if sc == nil {
-		sc = NewScratch()
-	}
-	prep, err := prepareScratch(d.cfg, window, sc)
-	if err != nil {
-		return 0, fmt.Errorf("score: %w", err)
-	}
-	if prep[0].NumAntennas() != len(d.profile.MeanAmp) || prep[0].NumSubcarriers() != len(d.profile.MeanAmp[0]) {
-		return 0, fmt.Errorf("window shape %dx%d differs from profile %dx%d: %w",
-			prep[0].NumAntennas(), prep[0].NumSubcarriers(),
-			len(d.profile.MeanAmp), len(d.profile.MeanAmp[0]), ErrBadInput)
-	}
-	switch d.cfg.Scheme {
-	case SchemeBaseline:
-		return d.scoreBaseline(prep, sc)
-	case SchemeSubcarrier:
-		return d.scoreSubcarrier(prep, sc)
-	case SchemeSubcarrierPath:
-		return d.scoreSubcarrierPath(prep, sc)
-	default:
-		return 0, fmt.Errorf("unknown scheme: %w", ErrBadInput)
-	}
+	profile, _ := d.snapshot()
+	return d.kernel.Score(profile, window, sc)
 }
 
-// scoreBaseline: normalized Euclidean distance of mean CSI amplitudes,
-// averaged across antennas.
-func (d *Detector) scoreBaseline(window []*csi.Frame, sc *Scratch) (float64, error) {
-	nAnt := window[0].NumAntennas()
-	nSub := window[0].NumSubcarriers()
-	var total float64
-	for ant := 0; ant < nAnt; ant++ {
-		mean := sc.accumulator(nSub)
-		for _, f := range window {
-			for k := 0; k < nSub; k++ {
-				re, im := real(f.CSI[ant][k]), imag(f.CSI[ant][k])
-				mean[k] += math.Hypot(re, im)
-			}
-		}
-		var dist, ref float64
-		for k := 0; k < nSub; k++ {
-			mean[k] /= float64(len(window))
-			diff := mean[k] - d.profile.MeanAmp[ant][k]
-			dist += diff * diff
-			ref += d.profile.MeanAmp[ant][k] * d.profile.MeanAmp[ant][k]
-		}
-		if ref > 0 {
-			total += math.Sqrt(dist / ref)
-		}
-	}
-	return total / float64(nAnt), nil
-}
-
-// windowWeights derives the subcarrier weights from the monitoring window's
-// multipath factors, per antenna. The multipath-factor rows live in the
-// scratch and are only valid until its next use.
-func (d *Detector) windowWeights(window []*csi.Frame, sc *Scratch) ([][]float64, error) {
-	nAnt := window[0].NumAntennas()
-	nSub := window[0].NumSubcarriers()
-	perAnt := sc.perAntenna(nAnt)
-	for ant := 0; ant < nAnt; ant++ {
-		mus := sc.muRows(len(window), nSub)
-		for i, f := range window {
-			if err := sc.MultipathFactorsInto(mus[i], f.CSI[ant], d.cfg.Grid); err != nil {
-				return nil, err
-			}
-		}
-		if d.cfg.UsePerPacketWeights {
-			// Eq. 12 ablation: average the per-packet weights.
-			acc := make([]float64, len(mus[0]))
-			for _, mu := range mus {
-				w, err := PerPacketWeights(mu)
-				if err != nil {
-					return nil, err
-				}
-				for i, v := range w {
-					acc[i] += v / float64(len(mus))
-				}
-			}
-			perAnt[ant] = acc
-			continue
-		}
-		sw, err := ComputeSubcarrierWeights(mus)
-		if err != nil {
-			return nil, err
-		}
-		perAnt[ant] = sw.Weights
-	}
-	return perAnt, nil
-}
-
-// scoreSubcarrier: Euclidean norm of the Eq. 15 weighted RSS changes,
-// averaged across antennas.
-func (d *Detector) scoreSubcarrier(window []*csi.Frame, sc *Scratch) (float64, error) {
-	weights, err := d.windowWeights(window, sc)
-	if err != nil {
-		return 0, err
-	}
-	nAnt := window[0].NumAntennas()
-	nSub := window[0].NumSubcarriers()
-	var total float64
-	for ant := 0; ant < nAnt; ant++ {
-		meanRSS := sc.accumulator(nSub)
-		for _, f := range window {
-			rss := sc.rssRow(nSub)
-			subcarrierRSSdBInto(rss, f.CSI[ant])
-			for k := 0; k < nSub; k++ {
-				meanRSS[k] += rss[k]
-			}
-		}
-		var dist, wNorm float64
-		for k := 0; k < nSub; k++ {
-			meanRSS[k] /= float64(len(window))
-			delta := meanRSS[k] - d.profile.MeanRSSdB[ant][k]
-			wd := weights[ant][k] * delta
-			dist += wd * wd
-			wNorm += weights[ant][k] * weights[ant][k]
-		}
-		if wNorm > 0 {
-			// Normalize by the weight norm: the score becomes a weighted
-			// RMS Δs in dB, comparable across links whose multipath-factor
-			// scales differ (the paper applies one threshold to all cases).
-			total += math.Sqrt(dist / wNorm)
-		}
-	}
-	return total / float64(nAnt), nil
-}
-
-// scoreSubcarrierPath: path-weighted distance between the subcarrier-
-// weighted monitoring and calibration angular power spectra (§IV-C). The
-// decision statistic runs on the Bartlett spectrum in dB — it carries the
-// per-direction received power, so on-path attenuation and off-path echoes
-// both register — while the Eq. 17 path weights, derived from the static
-// MUSIC pseudospectrum at calibration, amplify the NLOS directions.
-func (d *Detector) scoreSubcarrierPath(window []*csi.Frame, sc *Scratch) (float64, error) {
-	perAnt, err := d.windowWeights(window, sc)
-	if err != nil {
-		return 0, err
-	}
-	w, err := AverageWeightVectors(perAnt)
-	if err != nil {
-		return 0, err
-	}
-	est, err := newEstimator(d.cfg)
-	if err != nil {
-		return 0, err
-	}
-	monCov, err := music.Covariance(window, w)
-	if err != nil {
-		return 0, fmt.Errorf("monitor covariance: %w", err)
-	}
-	monSpec, err := est.Bartlett(monCov)
-	if err != nil {
-		return 0, fmt.Errorf("monitor spectrum: %w", err)
-	}
-	calCov, err := music.Covariance(d.profile.Frames, w)
-	if err != nil {
-		return 0, fmt.Errorf("calibration covariance: %w", err)
-	}
-	calSpec, err := est.Bartlett(calCov)
-	if err != nil {
-		return 0, fmt.Errorf("calibration spectrum: %w", err)
-	}
-	return WeightedSpectrumDistance(toDB(monSpec), toDB(calSpec), d.profile.PathWeights)
+// MeasureWindow sanitizes a window per the detector's config and computes
+// its profile statistics into ws (see Kernel.MeasureWindowInto).
+func (d *Detector) MeasureWindow(ws *WindowStats, window []*csi.Frame, sc *Scratch) error {
+	return d.kernel.MeasureWindowInto(ws, window, sc)
 }
 
 // toDB converts a power spectrum to decibels (floored well below any

@@ -11,4 +11,13 @@
 // workers pass a reusable Scratch to ScoreScratch/DetectScratch to keep the
 // per-window hot path nearly allocation-free (internal/engine does this per
 // pool worker).
+//
+// The detector is split into an immutable scoring Kernel and mutable link
+// state so profiles can adapt online: LinkProfile applies EWMA refreshes
+// from silent-window statistics (copy-on-write; concurrent scorers always
+// see a consistent snapshot), DriftMonitor runs the windowed
+// score-statistics test that flags a walked empty-room baseline, and the
+// typed threshold errors (ErrTooFewNullScores, ErrDegenerateNull,
+// ErrNonFiniteScore) keep junk null samples from becoming junk thresholds.
+// The adaptation policy that drives these pieces lives in internal/adapt.
 package core

@@ -1,0 +1,284 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"mlink/internal/csi"
+	"mlink/internal/music"
+)
+
+// Kernel is the immutable scoring core of a detector: a validated Config
+// plus the scheme's distance statistics, with the calibration profile passed
+// in per call rather than owned. Splitting the kernel from the profile is
+// what makes online adaptation possible — the adaptation layer swaps
+// profiles and thresholds while the kernel itself never changes, so scoring
+// workers can keep a Kernel forever without synchronization.
+type Kernel struct {
+	cfg Config
+}
+
+// NewKernel validates the config and wraps it as a scoring kernel.
+func NewKernel(cfg Config) (*Kernel, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	return &Kernel{cfg: cfg}, nil
+}
+
+// Config returns the kernel's configuration.
+func (k *Kernel) Config() Config { return k.cfg }
+
+// Score computes the scheme's distance statistic for a window of M frames
+// against the given profile (§IV-C monitoring stage). A nil scratch
+// allocates a transient one.
+func (k *Kernel) Score(profile *Profile, window []*csi.Frame, sc *Scratch) (float64, error) {
+	if len(window) == 0 {
+		return 0, fmt.Errorf("empty monitoring window: %w", ErrBadInput)
+	}
+	if profile == nil || len(profile.MeanAmp) == 0 {
+		return 0, fmt.Errorf("score without a profile: %w", ErrBadInput)
+	}
+	if sc == nil {
+		sc = NewScratch()
+	}
+	prep, err := prepareScratch(k.cfg, window, sc)
+	if err != nil {
+		return 0, fmt.Errorf("score: %w", err)
+	}
+	if prep[0].NumAntennas() != len(profile.MeanAmp) || prep[0].NumSubcarriers() != len(profile.MeanAmp[0]) {
+		return 0, fmt.Errorf("window shape %dx%d differs from profile %dx%d: %w",
+			prep[0].NumAntennas(), prep[0].NumSubcarriers(),
+			len(profile.MeanAmp), len(profile.MeanAmp[0]), ErrBadInput)
+	}
+	switch k.cfg.Scheme {
+	case SchemeBaseline:
+		return k.scoreBaseline(profile, prep, sc)
+	case SchemeSubcarrier:
+		return k.scoreSubcarrier(profile, prep, sc)
+	case SchemeSubcarrierPath:
+		return k.scoreSubcarrierPath(profile, prep, sc)
+	default:
+		return 0, fmt.Errorf("unknown scheme: %w", ErrBadInput)
+	}
+}
+
+// WindowStats are the per-window profile statistics a monitoring window
+// contributes: the same mean-amplitude and mean-RSS summaries a calibration
+// profile holds, measured over one sanitized window. The adaptation layer
+// folds them into a LinkProfile via EWMA updates.
+type WindowStats struct {
+	// MeanAmp is the window's mean linear CSI amplitude per
+	// [antenna][subcarrier].
+	MeanAmp [][]float64
+	// MeanRSSdB is the window's mean per-subcarrier RSS in dB.
+	MeanRSSdB [][]float64
+}
+
+// shaped grows the stats buffers to nAnt×nSub and zeroes them.
+func (ws *WindowStats) shaped(nAnt, nSub int) {
+	for _, rows := range []*[][]float64{&ws.MeanAmp, &ws.MeanRSSdB} {
+		if len(*rows) != nAnt {
+			*rows = make([][]float64, nAnt)
+		}
+		for i := range *rows {
+			(*rows)[i] = growFloats(&(*rows)[i], nSub)
+			for j := range (*rows)[i] {
+				(*rows)[i][j] = 0
+			}
+		}
+	}
+}
+
+// meanStatsInto accumulates the per-subcarrier mean amplitude and mean RSS
+// of already-prepared frames into ws — the single definition of the
+// profile fingerprint, shared by Calibrate (building the static profile)
+// and MeasureWindowInto (measuring a refresh window), so the adaptation
+// layer can never EWMA-mix statistics computed differently from the
+// profile's. rss is a caller-provided row buffer of nSub floats.
+func meanStatsInto(ws *WindowStats, prep []*csi.Frame, rss []float64) {
+	nAnt := prep[0].NumAntennas()
+	nSub := prep[0].NumSubcarriers()
+	ws.shaped(nAnt, nSub)
+	for _, f := range prep {
+		for ant := 0; ant < nAnt; ant++ {
+			subcarrierRSSdBInto(rss, f.CSI[ant])
+			amp := ws.MeanAmp[ant]
+			mrs := ws.MeanRSSdB[ant]
+			for kk := 0; kk < nSub; kk++ {
+				re, im := real(f.CSI[ant][kk]), imag(f.CSI[ant][kk])
+				amp[kk] += math.Hypot(re, im)
+				mrs[kk] += rss[kk]
+			}
+		}
+	}
+	scale := 1 / float64(len(prep))
+	for ant := 0; ant < nAnt; ant++ {
+		for kk := 0; kk < nSub; kk++ {
+			ws.MeanAmp[ant][kk] *= scale
+			ws.MeanRSSdB[ant][kk] *= scale
+		}
+	}
+}
+
+// MeasureWindowInto sanitizes a monitoring window (per the kernel's config)
+// and computes its profile statistics into ws, reusing ws's buffers across
+// calls. It is the measurement half of a silent-window profile refresh.
+func (k *Kernel) MeasureWindowInto(ws *WindowStats, window []*csi.Frame, sc *Scratch) error {
+	if len(window) == 0 {
+		return fmt.Errorf("empty window: %w", ErrBadInput)
+	}
+	if ws == nil {
+		return fmt.Errorf("nil window stats: %w", ErrBadInput)
+	}
+	if sc == nil {
+		sc = NewScratch()
+	}
+	prep, err := prepareScratch(k.cfg, window, sc)
+	if err != nil {
+		return fmt.Errorf("measure: %w", err)
+	}
+	meanStatsInto(ws, prep, sc.rssRow(prep[0].NumSubcarriers()))
+	return nil
+}
+
+// scoreBaseline: normalized Euclidean distance of mean CSI amplitudes,
+// averaged across antennas.
+func (k *Kernel) scoreBaseline(profile *Profile, window []*csi.Frame, sc *Scratch) (float64, error) {
+	nAnt := window[0].NumAntennas()
+	nSub := window[0].NumSubcarriers()
+	var total float64
+	for ant := 0; ant < nAnt; ant++ {
+		mean := sc.accumulator(nSub)
+		for _, f := range window {
+			for kk := 0; kk < nSub; kk++ {
+				re, im := real(f.CSI[ant][kk]), imag(f.CSI[ant][kk])
+				mean[kk] += math.Hypot(re, im)
+			}
+		}
+		var dist, ref float64
+		for kk := 0; kk < nSub; kk++ {
+			mean[kk] /= float64(len(window))
+			diff := mean[kk] - profile.MeanAmp[ant][kk]
+			dist += diff * diff
+			ref += profile.MeanAmp[ant][kk] * profile.MeanAmp[ant][kk]
+		}
+		if ref > 0 {
+			total += math.Sqrt(dist / ref)
+		}
+	}
+	return total / float64(nAnt), nil
+}
+
+// windowWeights derives the subcarrier weights from the monitoring window's
+// multipath factors, per antenna. The multipath-factor rows live in the
+// scratch and are only valid until its next use.
+func (k *Kernel) windowWeights(window []*csi.Frame, sc *Scratch) ([][]float64, error) {
+	nAnt := window[0].NumAntennas()
+	nSub := window[0].NumSubcarriers()
+	perAnt := sc.perAntenna(nAnt)
+	for ant := 0; ant < nAnt; ant++ {
+		mus := sc.muRows(len(window), nSub)
+		for i, f := range window {
+			if err := sc.MultipathFactorsInto(mus[i], f.CSI[ant], k.cfg.Grid); err != nil {
+				return nil, err
+			}
+		}
+		if k.cfg.UsePerPacketWeights {
+			// Eq. 12 ablation: average the per-packet weights.
+			acc := make([]float64, len(mus[0]))
+			for _, mu := range mus {
+				w, err := PerPacketWeights(mu)
+				if err != nil {
+					return nil, err
+				}
+				for i, v := range w {
+					acc[i] += v / float64(len(mus))
+				}
+			}
+			perAnt[ant] = acc
+			continue
+		}
+		sw, err := ComputeSubcarrierWeights(mus)
+		if err != nil {
+			return nil, err
+		}
+		perAnt[ant] = sw.Weights
+	}
+	return perAnt, nil
+}
+
+// scoreSubcarrier: Euclidean norm of the Eq. 15 weighted RSS changes,
+// averaged across antennas.
+func (k *Kernel) scoreSubcarrier(profile *Profile, window []*csi.Frame, sc *Scratch) (float64, error) {
+	weights, err := k.windowWeights(window, sc)
+	if err != nil {
+		return 0, err
+	}
+	nAnt := window[0].NumAntennas()
+	nSub := window[0].NumSubcarriers()
+	var total float64
+	for ant := 0; ant < nAnt; ant++ {
+		meanRSS := sc.accumulator(nSub)
+		for _, f := range window {
+			rss := sc.rssRow(nSub)
+			subcarrierRSSdBInto(rss, f.CSI[ant])
+			for kk := 0; kk < nSub; kk++ {
+				meanRSS[kk] += rss[kk]
+			}
+		}
+		var dist, wNorm float64
+		for kk := 0; kk < nSub; kk++ {
+			meanRSS[kk] /= float64(len(window))
+			delta := meanRSS[kk] - profile.MeanRSSdB[ant][kk]
+			wd := weights[ant][kk] * delta
+			dist += wd * wd
+			wNorm += weights[ant][kk] * weights[ant][kk]
+		}
+		if wNorm > 0 {
+			// Normalize by the weight norm: the score becomes a weighted
+			// RMS Δs in dB, comparable across links whose multipath-factor
+			// scales differ (the paper applies one threshold to all cases).
+			total += math.Sqrt(dist / wNorm)
+		}
+	}
+	return total / float64(nAnt), nil
+}
+
+// scoreSubcarrierPath: path-weighted distance between the subcarrier-
+// weighted monitoring and calibration angular power spectra (§IV-C). The
+// decision statistic runs on the Bartlett spectrum in dB — it carries the
+// per-direction received power, so on-path attenuation and off-path echoes
+// both register — while the Eq. 17 path weights, derived from the static
+// MUSIC pseudospectrum at calibration, amplify the NLOS directions.
+func (k *Kernel) scoreSubcarrierPath(profile *Profile, window []*csi.Frame, sc *Scratch) (float64, error) {
+	perAnt, err := k.windowWeights(window, sc)
+	if err != nil {
+		return 0, err
+	}
+	w, err := AverageWeightVectors(perAnt)
+	if err != nil {
+		return 0, err
+	}
+	est, err := newEstimator(k.cfg)
+	if err != nil {
+		return 0, err
+	}
+	monCov, err := music.Covariance(window, w)
+	if err != nil {
+		return 0, fmt.Errorf("monitor covariance: %w", err)
+	}
+	monSpec, err := est.Bartlett(monCov)
+	if err != nil {
+		return 0, fmt.Errorf("monitor spectrum: %w", err)
+	}
+	calCov, err := music.Covariance(profile.Frames, w)
+	if err != nil {
+		return 0, fmt.Errorf("calibration covariance: %w", err)
+	}
+	calSpec, err := est.Bartlett(calCov)
+	if err != nil {
+		return 0, fmt.Errorf("calibration spectrum: %w", err)
+	}
+	return WeightedSpectrumDistance(toDB(monSpec), toDB(calSpec), profile.PathWeights)
+}

@@ -193,11 +193,14 @@ func subcarrierRSSdBInto(dst []float64, row []complex128) {
 }
 
 // DetectScratch is Detect with a caller-managed scratch (nil is allowed and
-// behaves like Detect).
+// behaves like Detect). The decision is made against one consistent
+// (profile, threshold) snapshot even while an adaptation loop is updating
+// the detector concurrently.
 func (d *Detector) DetectScratch(window []*csi.Frame, sc *Scratch) (Decision, error) {
-	score, err := d.ScoreScratch(window, sc)
+	profile, threshold := d.snapshot()
+	score, err := d.kernel.Score(profile, window, sc)
 	if err != nil {
 		return Decision{}, err
 	}
-	return Decision{Present: score > d.threshold, Score: score, Threshold: d.threshold}, nil
+	return Decision{Present: score > threshold, Score: score, Threshold: threshold}, nil
 }

@@ -1,11 +1,34 @@
 package core
 
 import (
+	"errors"
 	"fmt"
+	"math"
 
 	"mlink/internal/csi"
 	"mlink/internal/dsp"
 )
+
+// Threshold-calibration errors. All wrap ErrBadInput so callers that only
+// distinguish "bad input" keep working, while adaptation code can match the
+// specific failure and decide between retrying with more data and
+// quarantining the link.
+var (
+	// ErrTooFewNullScores reports a null sample too small to estimate a
+	// quantile from (fewer than MinNullScores).
+	ErrTooFewNullScores = errors.New("core: too few null scores")
+	// ErrDegenerateNull reports a null sample with no variation at all —
+	// every score identical, which no real link produces; the capture path
+	// is stuck or replaying a constant.
+	ErrDegenerateNull = errors.New("core: degenerate null distribution")
+	// ErrNonFiniteScore reports NaN or ±Inf in the null sample.
+	ErrNonFiniteScore = errors.New("core: non-finite null score")
+)
+
+// MinNullScores is the smallest usable null sample. Two windows is the bare
+// minimum for any spread estimate (the single-link facade calibrates from
+// exactly two at its smallest setting).
+const MinNullScores = 2
 
 // SelfScores slides a window of the given size (with the given stride) over
 // held-out no-presence frames and returns the detector's score for each
@@ -32,16 +55,41 @@ func (d *Detector) SelfScores(frames []*csi.Frame, windowSize, stride int) ([]fl
 	return scores, nil
 }
 
-// CalibrateThreshold sets the decision threshold to the q-quantile of the
-// null scores inflated by margin (q close to 1 bounds the false-positive
-// rate; margin adds headroom for unseen dynamics). It returns the chosen
-// threshold.
-func (d *Detector) CalibrateThreshold(nullScores []float64, q, margin float64) (float64, error) {
-	if len(nullScores) == 0 {
-		return 0, fmt.Errorf("no null scores: %w", ErrBadInput)
+// ValidateNullScores vets a null-score sample before a threshold is derived
+// from it: enough samples, all finite, and not perfectly constant. It
+// returns one of the typed threshold errors (all wrapping ErrBadInput) so a
+// junk sample can never silently become a junk threshold.
+func ValidateNullScores(nullScores []float64) error {
+	if len(nullScores) < MinNullScores {
+		return fmt.Errorf("%d null scores (need ≥%d): %w (%w)",
+			len(nullScores), MinNullScores, ErrTooFewNullScores, ErrBadInput)
 	}
+	allSame := true
+	for i, s := range nullScores {
+		if math.IsNaN(s) || math.IsInf(s, 0) {
+			return fmt.Errorf("null score [%d] = %v: %w (%w)", i, s, ErrNonFiniteScore, ErrBadInput)
+		}
+		if s != nullScores[0] {
+			allSame = false
+		}
+	}
+	if allSame {
+		return fmt.Errorf("all %d null scores identical (%v): %w (%w)",
+			len(nullScores), nullScores[0], ErrDegenerateNull, ErrBadInput)
+	}
+	return nil
+}
+
+// DeriveThreshold computes (without setting) the q-quantile of the null
+// scores inflated by margin. It is the pure function behind
+// CalibrateThreshold, shared with the adaptation layer's online threshold
+// re-derivation.
+func DeriveThreshold(nullScores []float64, q, margin float64) (float64, error) {
 	if q <= 0 || q > 1 {
 		return 0, fmt.Errorf("quantile %v: %w", q, ErrBadInput)
+	}
+	if err := ValidateNullScores(nullScores); err != nil {
+		return 0, err
 	}
 	if margin <= 0 {
 		margin = 1
@@ -50,7 +98,23 @@ func (d *Detector) CalibrateThreshold(nullScores []float64, q, margin float64) (
 	if err != nil {
 		return 0, fmt.Errorf("threshold: %w", err)
 	}
-	t := cdf.Quantile(q) * margin
-	d.threshold = t
+	return cdf.Quantile(q) * margin, nil
+}
+
+// CalibrateThreshold sets the decision threshold to the q-quantile of the
+// null scores inflated by margin (q close to 1 bounds the false-positive
+// rate; margin adds headroom for unseen dynamics). It returns the chosen
+// threshold, or a typed error (ErrTooFewNullScores, ErrNonFiniteScore,
+// ErrDegenerateNull — all wrapping ErrBadInput) when the null sample cannot
+// support a meaningful threshold.
+func (d *Detector) CalibrateThreshold(nullScores []float64, q, margin float64) (float64, error) {
+	if len(nullScores) == 0 {
+		return 0, fmt.Errorf("no null scores: %w (%w)", ErrTooFewNullScores, ErrBadInput)
+	}
+	t, err := DeriveThreshold(nullScores, q, margin)
+	if err != nil {
+		return 0, err
+	}
+	d.SetThreshold(t)
 	return t, nil
 }

@@ -12,7 +12,16 @@
 // per-window allocations. Sources that implement FrameRecycler (such as
 // PooledExtractorSource) get their frames back after each window is scored,
 // so steady-state monitoring allocates neither frames nor windows. Per-link
-// core.Decisions are fused by a pluggable FusionPolicy (k-of-n, max-score),
-// and a snapshotable Metrics block tracks windows scored, scoring
-// throughput and per-link mean multipath factor μ.
+// core.Decisions are fused by a pluggable FusionPolicy (k-of-n, max-score,
+// quality-weighted k-of-n), and a snapshotable Metrics block tracks windows
+// scored, scoring throughput, per-link mean multipath factor μ and
+// adaptation health.
+//
+// With Config.Adaptation set, every calibrated link runs an adapt.Adapter:
+// scored windows refresh the link's profile when confidently empty, the
+// threshold follows the rolling null distribution, and a drift monitor
+// flags links whose baseline has walked (Recalibrate rebuilds a quarantined
+// link in place). The per-link health feeds WeightedKOfN fusion — each
+// link votes with its characterized μ scaled by health, so a drifting or
+// dead link cannot outvote healthy ones.
 package engine

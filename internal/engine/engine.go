@@ -10,6 +10,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"mlink/internal/adapt"
 	"mlink/internal/core"
 	"mlink/internal/csi"
 )
@@ -43,6 +44,12 @@ type Config struct {
 	// Fusion combines per-link decisions into a site verdict (default
 	// KOfN{K: 1}: any positive link trips the site).
 	Fusion FusionPolicy
+	// Adaptation, when non-nil, enables per-link online adaptation: every
+	// calibrated link gets an adapt.Adapter that refreshes its profile on
+	// silent windows, re-derives its threshold, and tracks drift health
+	// (which quality-weighted fusion consumes). The zero Policy selects the
+	// package defaults.
+	Adaptation *adapt.Policy
 	// OnDecision, when non-nil, is invoked from scoring workers after every
 	// scored window. It must be safe for concurrent use and fast.
 	OnDecision func(linkID string, d core.Decision)
@@ -74,8 +81,18 @@ type link struct {
 	src      Source
 	recycler FrameRecycler // non-nil when src pools its frames
 
+	// scoreDone serializes an adaptive link's windows: the assembler waits
+	// for window w's score+Observe to finish before submitting w+1, so the
+	// adapter always sees a link's scores in stream order (the drift
+	// monitor's jump discriminator and the EWMA refresh sequence are
+	// order-sensitive) and results stay deterministic across pool sizes.
+	// Nil for non-adaptive links, whose windows may score out of order.
+	scoreDone chan struct{}
+
 	mu       sync.Mutex
 	det      *core.Detector
+	adapter  *adapt.Adapter // nil when adaptation is disabled
+	health   adapt.Health
 	meanMu   float64
 	last     core.Decision
 	decided  bool
@@ -87,11 +104,15 @@ type link struct {
 type Engine struct {
 	cfg Config
 
-	mu       sync.Mutex
-	links    []*link
-	byID     map[string]*link
-	running  bool
-	runStart time.Time
+	mu      sync.Mutex
+	links   []*link
+	byID    map[string]*link
+	running bool
+	// calibrating guards the whole span of Calibrate/Recalibrate (not just
+	// their entry check): Run must not start while a calibration is still
+	// pulling frames from a link's single-reader source.
+	calibrating bool
+	runStart    time.Time
 
 	windowsScored atomic.Uint64
 	framesSeen    atomic.Uint64
@@ -113,6 +134,19 @@ func New(cfg Config) *Engine {
 
 // WindowSize reports the effective monitoring window in packets.
 func (e *Engine) WindowSize() int { return e.cfg.WindowSize }
+
+// SetAdaptation installs (or, with nil, removes) the adaptation policy.
+// It affects links calibrated afterwards — call it before Calibrate, or
+// Recalibrate existing links to pick it up. Rejected while Run is active.
+func (e *Engine) SetAdaptation(p *adapt.Policy) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.running || e.calibrating {
+		return ErrRunning
+	}
+	e.cfg.Adaptation = p
+	return nil
+}
 
 // AddLink registers a link under a unique ID. The source is owned by the
 // engine from here on: calibration and monitoring both draw frames from it,
@@ -180,12 +214,18 @@ func (e *Engine) pull(ctx context.Context, src Source, dst []*csi.Frame, n int) 
 // cover at least two self-score windows.
 func (e *Engine) Calibrate(ctx context.Context, n int) error {
 	e.mu.Lock()
-	if e.running {
+	if e.running || e.calibrating {
 		e.mu.Unlock()
 		return ErrRunning
 	}
+	e.calibrating = true
 	links := append([]*link(nil), e.links...)
 	e.mu.Unlock()
+	defer func() {
+		e.mu.Lock()
+		e.calibrating = false
+		e.mu.Unlock()
+	}()
 	if len(links) == 0 {
 		return ErrNoLinks
 	}
@@ -263,6 +303,13 @@ func (e *Engine) calibrateLink(ctx context.Context, l *link, n int) error {
 	if err != nil {
 		return err
 	}
+	var adapter *adapt.Adapter
+	if e.cfg.Adaptation != nil {
+		adapter, err = adapt.NewAdapter(*e.cfg.Adaptation, det, null)
+		if err != nil {
+			return fmt.Errorf("adaptation: %w", err)
+		}
+	}
 	// Holdout frames are done; calibration frames may be recycled only when
 	// sanitization is on (otherwise the profile retains them directly).
 	l.recycleFrames(holdout)
@@ -271,8 +318,51 @@ func (e *Engine) calibrateLink(ctx context.Context, l *link, n int) error {
 	}
 	l.mu.Lock()
 	l.det = det
+	l.adapter = adapter
+	l.health = adapt.Health{}
+	if adapter != nil {
+		l.health = adapter.Health()
+		if l.scoreDone == nil {
+			l.scoreDone = make(chan struct{}, 1)
+		}
+	}
 	l.meanMu = meanMu
 	l.mu.Unlock()
+	return nil
+}
+
+// Recalibrate rebuilds one link's profile, threshold and (when enabled)
+// adapter from a fresh empty-room capture — the recovery path for a link
+// whose adaptation health reports NeedsRecalibration after a step change
+// (furniture moved, antenna bumped). The caller is asserting the room is
+// empty again, exactly as for the initial Calibrate. Rejected while Run is
+// active.
+func (e *Engine) Recalibrate(ctx context.Context, linkID string, n int) error {
+	e.mu.Lock()
+	if e.running || e.calibrating {
+		e.mu.Unlock()
+		return ErrRunning
+	}
+	e.calibrating = true
+	l, ok := e.byID[linkID]
+	e.mu.Unlock()
+	defer func() {
+		e.mu.Lock()
+		e.calibrating = false
+		e.mu.Unlock()
+	}()
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownLink, linkID)
+	}
+	if n < 2*e.cfg.WindowSize {
+		n = 2 * e.cfg.WindowSize
+	}
+	if n < 50 {
+		n = 50
+	}
+	if err := e.calibrateLink(ctx, l, n); err != nil {
+		return fmt.Errorf("link %s: %w", linkID, err)
+	}
 	return nil
 }
 
@@ -328,7 +418,7 @@ func (e *Engine) Run(ctx context.Context, windowsPerLink int) error {
 		}
 	}
 	e.mu.Lock()
-	if e.running {
+	if e.running || e.calibrating {
 		e.mu.Unlock()
 		return ErrRunning
 	}
@@ -398,7 +488,16 @@ func (e *Engine) Run(ctx context.Context, windowsPerLink int) error {
 
 // assemble slices one link's stream into windows and submits them for
 // scoring. A clean end of stream (io.EOF) stops the link without error.
+// For an adaptive link, each window must finish scoring (and feeding the
+// adapter) before the next is submitted — see link.scoreDone.
 func (e *Engine) assemble(ctx context.Context, l *link, windowsPerLink int, jobs chan<- scoreJob) error {
+	if l.scoreDone != nil {
+		// Drop a token a cancelled previous run may have left behind.
+		select {
+		case <-l.scoreDone:
+		default:
+		}
+	}
 	for w := 0; windowsPerLink <= 0 || w < windowsPerLink; w++ {
 		buf := e.windowPool.Get().(*[]*csi.Frame)
 		*buf = (*buf)[:0]
@@ -419,6 +518,13 @@ func (e *Engine) assemble(ctx context.Context, l *link, windowsPerLink int, jobs
 			e.windowPool.Put(buf)
 			return nil
 		}
+		if l.scoreDone != nil {
+			select {
+			case <-l.scoreDone:
+			case <-ctx.Done():
+				return nil
+			}
+		}
 	}
 	return nil
 }
@@ -437,10 +543,21 @@ func (l *link) recycleFrames(frames []*csi.Frame) {
 }
 
 // score runs one window through the link's detector with the worker's
-// scratch and folds the decision into the link and engine state.
+// scratch, lets the link's adapter observe the outcome (profile refresh /
+// drift tracking happen here, before the frames are recycled), and folds
+// the decision into the link and engine state.
 func (e *Engine) score(job scoreJob, sc *core.Scratch) error {
 	l := job.l
+	if l.scoreDone != nil {
+		// Release the link's assembler whatever happens below; the token
+		// is what keeps an adaptive link's windows in stream order.
+		defer func() { l.scoreDone <- struct{}{} }()
+	}
 	dec, err := l.det.DetectScratch(*job.window, sc)
+	var health adapt.Health
+	if err == nil && l.adapter != nil {
+		health, err = l.adapter.Observe(*job.window, dec)
+	}
 	l.recycleFrames(*job.window)
 	*job.window = (*job.window)[:0]
 	e.windowPool.Put(job.window)
@@ -452,6 +569,9 @@ func (e *Engine) score(job scoreJob, sc *core.Scratch) error {
 	l.decided = true
 	l.windows++
 	l.scoreSum += dec.Score
+	if l.adapter != nil {
+		l.health = health
+	}
 	l.mu.Unlock()
 	e.windowsScored.Add(1)
 	if cb := e.cfg.OnDecision; cb != nil {
@@ -479,11 +599,23 @@ func (e *Engine) ScoreWindow(linkID string, window []*csi.Frame) (core.Decision,
 	if err != nil {
 		return core.Decision{}, err
 	}
+	var health adapt.Health
+	l.mu.Lock()
+	adapter := l.adapter
+	l.mu.Unlock()
+	if adapter != nil {
+		if health, err = adapter.Observe(window, dec); err != nil {
+			return core.Decision{}, err
+		}
+	}
 	l.mu.Lock()
 	l.last = dec
 	l.decided = true
 	l.windows++
 	l.scoreSum += dec.Score
+	if adapter != nil {
+		l.health = health
+	}
 	l.mu.Unlock()
 	e.windowsScored.Add(1)
 	e.framesSeen.Add(uint64(len(window)))
@@ -491,17 +623,39 @@ func (e *Engine) ScoreWindow(linkID string, window []*csi.Frame) (core.Decision,
 }
 
 // Verdict fuses the latest decision of every link that has scored at least
-// one window into a site-level verdict under the configured policy.
+// one window into a site-level verdict under the configured policy. Each
+// decision carries the link's characterized quality weight — its mean
+// multipath factor μ (§IV-A: higher μ means a more detection-sensitive
+// link) normalized across the fleet, discounted by its current adaptation
+// health — so weight-aware policies (WeightedKOfN) let well-characterized
+// healthy links dominate drifting or insensitive ones.
 func (e *Engine) Verdict() (SiteVerdict, error) {
 	links := e.snapshot()
 	if len(links) == 0 {
 		return SiteVerdict{}, ErrNoLinks
 	}
 	decisions := make([]LinkDecision, 0, len(links))
+	var maxMu float64
+	for _, l := range links {
+		l.mu.Lock()
+		if l.decided && l.meanMu > maxMu {
+			maxMu = l.meanMu
+		}
+		l.mu.Unlock()
+	}
 	for _, l := range links {
 		l.mu.Lock()
 		if l.decided {
-			decisions = append(decisions, LinkDecision{LinkID: l.id, Decision: l.last})
+			quality := 1.0
+			if maxMu > 0 && l.meanMu > 0 {
+				quality = l.meanMu / maxMu
+			}
+			decisions = append(decisions, LinkDecision{
+				LinkID:   l.id,
+				Decision: l.last,
+				Weight:   quality * l.health.Weight(),
+				Health:   l.health,
+			})
 		}
 		l.mu.Unlock()
 	}

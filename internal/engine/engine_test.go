@@ -5,9 +5,11 @@ import (
 	"errors"
 	"io"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
+	"mlink/internal/adapt"
 	"mlink/internal/body"
 	"mlink/internal/core"
 	"mlink/internal/csi"
@@ -45,9 +47,10 @@ func buildLink(t testing.TB, caseN int, seed int64) (*scenario.Scenario, core.Co
 func TestEngineRoundTrip(t *testing.T) {
 	e := New(Config{Workers: 4, WindowSize: 25, Fusion: KOfN{K: 1}})
 
-	// Seeds matter: some seeds give the simulated hardware a slow gain walk
-	// that drifts empty-room scores past a threshold calibrated from only
-	// six null windows (e.g. seed 11); 5 and 7 are drift-free.
+	// A frozen (non-adaptive) fleet over a short run. Receiver gain drift
+	// is a first-class scenario now — scenario drift presets plus engine
+	// adaptation, exercised by TestEngineAdaptationBoundsDriftFalsePositives
+	// below — so this round-trip only checks the frozen pipeline.
 	s1, cfg1, src1 := buildLink(t, 2, 7)
 	_, cfg2, src2 := buildLink(t, 3, 5)
 	if err := e.AddLink("occupied", cfg1, src1); err != nil {
@@ -149,6 +152,74 @@ func TestEngineFleetErrors(t *testing.T) {
 	}
 	if _, err := e.ScoreWindow("missing", nil); !errors.Is(err, ErrUnknownLink) {
 		t.Fatalf("ScoreWindow on unknown link: %v, want ErrUnknownLink", err)
+	}
+}
+
+// TestEngineAdaptationBoundsDriftFalsePositives runs the drift scenario the
+// seed comments used to warn about — a receiver whose gain walks during
+// monitoring (seed 11 was the PR 1 caveat seed, plus an explicit gain-walk
+// preset on top) — through the engine twice: frozen and adaptive. The
+// frozen fleet false-alarms on most empty-room windows; adaptation keeps
+// the false-positive rate bounded and the link healthy.
+func TestEngineAdaptationBoundsDriftFalsePositives(t *testing.T) {
+	const windows = 60 // the experiment's 10× calibration-length horizon
+	run := func(adaptive bool) (falsePositives int, m Metrics) {
+		s, err := scenario.LinkCase(2, 11)
+		if err != nil {
+			t.Fatal(err)
+		}
+		stream, err := s.NewDriftStream(scenario.GainWalk(12), 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var fp atomic.Int64
+		cfg := Config{
+			Workers:    2,
+			WindowSize: 25,
+			OnDecision: func(_ string, d core.Decision) {
+				if d.Present {
+					fp.Add(1)
+				}
+			},
+		}
+		if adaptive {
+			cfg.Adaptation = &adapt.Policy{}
+		}
+		e := New(cfg)
+		detCfg := core.DefaultConfig(s.Grid, core.SchemeSubcarrier, s.Env.RX.Offsets())
+		if err := e.AddLink("drifting", detCfg, stream); err != nil {
+			t.Fatal(err)
+		}
+		if err := e.Calibrate(context.Background(), 150); err != nil {
+			t.Fatal(err)
+		}
+		if err := e.Run(context.Background(), windows); err != nil {
+			t.Fatal(err)
+		}
+		return int(fp.Load()), e.Metrics()
+	}
+
+	frozenFP, _ := run(false)
+	adaptiveFP, m := run(true)
+	t.Logf("gain-walk seed 11 over %d windows: frozen %d false positives, adaptive %d", windows, frozenFP, adaptiveFP)
+	if frozenFP <= windows/5 {
+		t.Fatalf("frozen fleet FPs = %d/%d — drift too gentle to demonstrate adaptation", frozenFP, windows)
+	}
+	if adaptiveFP*2 >= frozenFP {
+		t.Errorf("adaptation did not measurably bound FPs: %d vs frozen %d", adaptiveFP, frozenFP)
+	}
+	if adaptiveFP > windows/3 {
+		t.Errorf("adaptive FPs = %d/%d, want ≤ 1/3", adaptiveFP, windows)
+	}
+	lm := m.PerLink[0]
+	if !lm.Adaptive {
+		t.Fatal("link metrics not marked adaptive")
+	}
+	if lm.Health.Refreshes == 0 {
+		t.Error("adaptive link never refreshed its profile")
+	}
+	if lm.Health.State == adapt.StateQuarantined {
+		t.Errorf("gradual gain walk quarantined the link: %+v", lm.Health)
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 
+	"mlink/internal/adapt"
 	"mlink/internal/core"
 )
 
@@ -11,10 +12,20 @@ import (
 // scored a window.
 var ErrNoDecisions = errors.New("engine: no link decisions yet")
 
-// LinkDecision pairs a link ID with its latest monitoring decision.
+// LinkDecision pairs a link ID with its latest monitoring decision plus the
+// link's current quality weight and adaptation health.
 type LinkDecision struct {
 	LinkID string
 	core.Decision
+	// Weight is the link's fusion vote weight: its characterized mean
+	// multipath factor μ normalized across the fleet, discounted by
+	// adaptation health (1 for the best healthy link; 0 is treated as
+	// "unset" and fused at uniform weight). Count-based policies (KOfN,
+	// MaxScore) ignore it; WeightedKOfN votes with it.
+	Weight float64
+	// Health is the link's adaptation snapshot (zero value when adaptation
+	// is disabled).
+	Health adapt.Health
 }
 
 // SiteVerdict is the fused, site-level presence verdict over all monitored
@@ -78,6 +89,75 @@ func (p KOfN) Fuse(decisions []LinkDecision) (SiteVerdict, error) {
 	return SiteVerdict{
 		Present:  positive >= k,
 		Score:    float64(positive) / float64(n),
+		Positive: positive,
+		Total:    n,
+		Policy:   p.String(),
+		Links:    decisions,
+	}, nil
+}
+
+// WeightedKOfN is quality-weighted k-of-n voting: every link votes with its
+// LinkDecision.Weight (characterized link quality × adaptation health) and
+// the site is declared occupied when the positive weight reaches the K/N
+// fraction of the total weight. With all weights equal it reduces exactly
+// to KOfN — k equal votes of n trip it, k−1 do not — while a drifting or
+// quarantined link's discounted vote cannot outvote healthy links.
+// K ≤ 0 selects a strict majority (N/2+1); K > N clamps to N.
+//
+// Trade-off: a person parked on exactly one link long enough to quarantine
+// it (single-link ambiguity — sustained presence and a furniture step look
+// identical) has their sustained vote discounted too; the early windows of
+// the visit fuse at full weight and alarm, after which the link reads as
+// unreliable until recalibrated. Deployments that prefer never discounting
+// positive votes keep count-based KOfN.
+type WeightedKOfN struct{ K int }
+
+// String implements FusionPolicy.
+func (p WeightedKOfN) String() string {
+	if p.K <= 0 {
+		return "weighted-majority"
+	}
+	return fmt.Sprintf("weighted-%d-of-n", p.K)
+}
+
+// Fuse implements FusionPolicy.
+func (p WeightedKOfN) Fuse(decisions []LinkDecision) (SiteVerdict, error) {
+	n := len(decisions)
+	if n == 0 {
+		return SiteVerdict{}, ErrNoDecisions
+	}
+	k := p.K
+	if k <= 0 {
+		k = n/2 + 1
+	}
+	if k > n {
+		k = n
+	}
+	var totalW, positiveW float64
+	positive := 0
+	for _, d := range decisions {
+		w := d.Weight
+		if w <= 0 {
+			// Unset weight (engine without adaptation metadata, or a
+			// hand-built decision): vote uniformly.
+			w = 1
+		}
+		totalW += w
+		if d.Present {
+			positive++
+			positiveW += w
+		}
+	}
+	if totalW <= 0 {
+		return SiteVerdict{}, fmt.Errorf("weighted fusion with zero total weight: %w", ErrNoDecisions)
+	}
+	frac := positiveW / totalW
+	// The small epsilon keeps the equal-weight case exactly k-of-n despite
+	// floating-point division (k/n must count as reaching the quorum).
+	quorum := float64(k)/float64(n) - 1e-9
+	return SiteVerdict{
+		Present:  frac >= quorum,
+		Score:    frac,
 		Positive: positive,
 		Total:    n,
 		Policy:   p.String(),

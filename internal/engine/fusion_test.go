@@ -11,6 +11,15 @@ func dec(id string, present bool, score, threshold float64) LinkDecision {
 	return LinkDecision{LinkID: id, Decision: core.Decision{Present: present, Score: score, Threshold: threshold}}
 }
 
+func wdec(id string, present bool, weight float64) LinkDecision {
+	d := dec(id, present, 2, 1)
+	if !present {
+		d.Decision.Score = 0.5
+	}
+	d.Weight = weight
+	return d
+}
+
 func TestKOfNEmptyFleet(t *testing.T) {
 	if _, err := (KOfN{K: 1}).Fuse(nil); !errors.Is(err, ErrNoDecisions) {
 		t.Fatalf("empty fuse: %v, want ErrNoDecisions", err)
@@ -71,6 +80,90 @@ func TestKOfNMajorityAndClamp(t *testing.T) {
 	all := []LinkDecision{dec("a", true, 2, 1), dec("b", true, 2, 1)}
 	if v, _ = (KOfN{K: 99}).Fuse(all); !v.Present {
 		t.Fatalf("k=99 clamp over 2 unanimous links fused to absent: %+v", v)
+	}
+}
+
+// TestWeightedKOfNEqualWeightsIsKOfN: with uniform weights the weighted
+// policy must reproduce plain k-of-n semantics exactly, including the
+// inclusive tie at K, for every K and every positive count.
+func TestWeightedKOfNEqualWeightsIsKOfN(t *testing.T) {
+	if _, err := (WeightedKOfN{K: 1}).Fuse(nil); !errors.Is(err, ErrNoDecisions) {
+		t.Fatalf("empty fuse: %v, want ErrNoDecisions", err)
+	}
+	const n = 5
+	for k := 0; k <= n+1; k++ {
+		for positive := 0; positive <= n; positive++ {
+			d := make([]LinkDecision, n)
+			for i := range d {
+				d[i] = wdec(string(rune('a'+i)), i < positive, 1)
+			}
+			plain, err := (KOfN{K: k}).Fuse(d)
+			if err != nil {
+				t.Fatal(err)
+			}
+			weighted, err := (WeightedKOfN{K: k}).Fuse(d)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if plain.Present != weighted.Present {
+				t.Fatalf("k=%d positive=%d: weighted=%v, k-of-n=%v", k, positive, weighted.Present, plain.Present)
+			}
+		}
+	}
+}
+
+// TestWeightedKOfNDriftingLinkCannotOutvote: the satellite requirement — a
+// dead or drifting link's discounted vote must not outvote healthy links.
+func TestWeightedKOfNDriftingLinkCannotOutvote(t *testing.T) {
+	// A quarantined link screams "present" while two healthy links see an
+	// empty site: majority fusion must stay absent.
+	d := []LinkDecision{
+		wdec("dead", true, 0.1), // quarantined weight
+		wdec("h1", false, 1),
+		wdec("h2", false, 1),
+	}
+	v, err := (WeightedKOfN{}).Fuse(d) // weighted majority
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Present {
+		t.Fatalf("quarantined link outvoted 2 healthy links: %+v", v)
+	}
+	// Count-based majority on the same snapshot would also be absent (1/3)
+	// — so tighten: even at K=1 (any-link-trips), the discounted vote must
+	// not reach the 1/3-weight quorum.
+	v, err = (WeightedKOfN{K: 1}).Fuse(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Present {
+		t.Fatalf("quarantined link tripped weighted 1-of-n: %+v (score %v)", v, v.Score)
+	}
+	// The converse: a healthy link's full-weight vote still trips 1-of-n
+	// over two discounted links.
+	d = []LinkDecision{
+		wdec("h1", true, 1),
+		wdec("drift1", false, 0.4),
+		wdec("drift2", false, 0.4),
+	}
+	if v, _ = (WeightedKOfN{K: 1}).Fuse(d); !v.Present {
+		t.Fatalf("healthy positive link lost to discounted negatives: %+v", v)
+	}
+}
+
+// TestWeightedKOfNUnsetWeights: hand-built decisions without weights fuse
+// uniformly instead of dividing by zero.
+func TestWeightedKOfNUnsetWeights(t *testing.T) {
+	d := []LinkDecision{
+		dec("a", true, 2, 1),
+		dec("b", false, 0.5, 1),
+	}
+	v, err := (WeightedKOfN{K: 1}).Fuse(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Present {
+		t.Fatalf("unset weights did not fuse as uniform: %+v", v)
 	}
 }
 

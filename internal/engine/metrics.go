@@ -1,6 +1,10 @@
 package engine
 
-import "time"
+import (
+	"time"
+
+	"mlink/internal/adapt"
+)
 
 // LinkMetrics is one link's monitoring state snapshot.
 type LinkMetrics struct {
@@ -11,7 +15,8 @@ type LinkMetrics struct {
 	// MeanMu is the link's mean multipath factor μ measured at calibration
 	// (the §IV-A deployment-assessment metric; higher = more sensitive).
 	MeanMu float64
-	// Threshold is the calibrated decision threshold.
+	// Threshold is the current decision threshold (it moves over time when
+	// adaptation is enabled).
 	Threshold float64
 	// WindowsScored counts scored monitoring windows.
 	WindowsScored uint64
@@ -19,6 +24,11 @@ type LinkMetrics struct {
 	LastScore, MeanScore float64
 	// Present is the link's latest verdict.
 	Present bool
+	// Adaptive reports whether the link runs an adaptation loop.
+	Adaptive bool
+	// Health is the link's adaptation snapshot (zero value when Adaptive is
+	// false).
+	Health adapt.Health
 }
 
 // Metrics is a consistent-enough snapshot of the engine's counters.
@@ -63,6 +73,8 @@ func (e *Engine) Metrics() Metrics {
 			WindowsScored: l.windows,
 			LastScore:     l.last.Score,
 			Present:       l.last.Present,
+			Adaptive:      l.adapter != nil,
+			Health:        l.health,
 		}
 		if l.det != nil {
 			lm.Threshold = l.det.Threshold()

@@ -6,6 +6,10 @@
 // the MUSIC angular view, and Fig. 7–12 the detection performance of the
 // three schemes across links, ranges, angles and packet budgets.
 //
+// Beyond the paper's figures, RunDriftAdaptation compares a frozen and an
+// adaptive detector over the scenario drift presets (gain walk, CFO walk,
+// furniture move) — the table behind the repo's adaptation claim.
+//
 // cmd/mlink-exp prints the full tables; bench_test.go reports each figure's
 // headline quantity via go test -bench.
 package experiments

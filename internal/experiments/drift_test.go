@@ -1,0 +1,105 @@
+package experiments
+
+import (
+	"testing"
+
+	"mlink/internal/scenario"
+)
+
+// TestDriftAdaptationBoundsFalsePositives is the acceptance experiment: on
+// the gain-walk drift preset, over a 10× calibration-length empty-room run,
+// the adaptive detector must hold the false-positive rate at or below 5%
+// while the frozen detector measurably exceeds it — the PR 1 "seeds 11-ish
+// drift" caveat turned into a handled scenario.
+func TestDriftAdaptationBoundsFalsePositives(t *testing.T) {
+	// Several seeds, not a hand-picked one: the gain walk defeats the
+	// frozen detector on all of them while adaptation holds the bound.
+	// (Seeds whose OU gain process takes genuine step-like excursions are
+	// the quarantine scenario — covered by the furniture/quarantine tests —
+	// not the gradual-walk scenario this test demonstrates.)
+	for _, seed := range []int64{1, 5, 9} {
+		r, err := RunDriftAdaptation(DriftExperimentConfig{Preset: scenario.GainWalk(12), Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("seed %d:\n%s", seed, r.Render())
+		if r.Frozen.Windows < 10*r.Config.CalibrationPackets/r.Config.WindowPackets {
+			t.Fatalf("monitoring run too short: %d windows", r.Frozen.Windows)
+		}
+		if r.Adaptive.FPR > 0.05 {
+			t.Errorf("seed %d: adaptive FPR = %.1f%%, want ≤ 5%%", seed, 100*r.Adaptive.FPR)
+		}
+		if r.Frozen.FPR <= 0.05 {
+			t.Errorf("seed %d: frozen FPR = %.1f%%, want > 5%% (drift preset too gentle to demonstrate adaptation)", seed, 100*r.Frozen.FPR)
+		}
+		if r.Frozen.FPR <= 2*r.Adaptive.FPR && r.Adaptive.FalsePositives > 0 {
+			t.Errorf("seed %d: frozen FPR %.1f%% not measurably above adaptive %.1f%%", seed, 100*r.Frozen.FPR, 100*r.Adaptive.FPR)
+		}
+		// Adaptation must not trade away sensitivity: the person stepping
+		// onto the link after the whole drifted run is still detected.
+		if r.Adaptive.TailDetections == 0 {
+			t.Errorf("seed %d: adaptive detector missed all %d occupied tail windows", seed, r.Adaptive.TailWindows)
+		}
+		if r.Adaptive.Health.Refreshes == 0 {
+			t.Errorf("seed %d: adaptive arm never refreshed its profile", seed)
+		}
+	}
+}
+
+// TestDriftCFOWalkHarmless documents why the CFO preset exists: phase
+// sanitization makes the detectors immune to oscillator drift, so the CFO
+// arm behaves exactly like the no-drift control — any false positives come
+// from the receiver's own stochastic gain process (the OU AGC drift), which
+// adaptation in turn bounds.
+func TestDriftCFOWalkHarmless(t *testing.T) {
+	run := func(p scenario.DriftPreset) *DriftResult {
+		t.Helper()
+		r, err := RunDriftAdaptation(DriftExperimentConfig{
+			Preset:          p,
+			MonitorMultiple: 4,
+			Seed:            5,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	control := run(scenario.NoDrift())
+	cfo := run(scenario.CFOWalk(60, 0.05))
+	t.Logf("control:\n%s\ncfo:\n%s", control.Render(), cfo.Render())
+	// Same seed, same frames, only the phase rotation differs: the CFO arm
+	// must not add false positives over the control.
+	if cfo.Frozen.FalsePositives > control.Frozen.FalsePositives {
+		t.Errorf("CFO walk added frozen false positives: %d > control %d",
+			cfo.Frozen.FalsePositives, control.Frozen.FalsePositives)
+	}
+	if cfo.Adaptive.FPR > 0.05 {
+		t.Errorf("adaptive FPR on CFO walk = %.1f%%, want ≤ 5%%", 100*cfo.Adaptive.FPR)
+	}
+	if cfo.Adaptive.TailDetections == 0 {
+		t.Error("adaptive detector missed the occupied tail under CFO drift")
+	}
+}
+
+// TestDriftFurnitureMoveQuarantines checks the step change no EWMA can
+// absorb: after the furniture moves, the adaptive link must flag itself as
+// needing recalibration instead of silently false-alarming forever.
+func TestDriftFurnitureMoveQuarantines(t *testing.T) {
+	cfg := DriftExperimentConfig{
+		Preset:              scenario.FurnitureMove(600), // mid-run step
+		MonitorMultiple:     6,
+		OccupiedTailWindows: -1, // none: the room stays empty throughout
+		Seed:                2,
+	}
+	r, err := RunDriftAdaptation(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", r.Render())
+	if !r.Adaptive.Health.NeedsRecalibration {
+		t.Errorf("furniture step did not quarantine the adaptive link: health %+v", r.Adaptive.Health)
+	}
+	if r.Frozen.FalsePositives == 0 {
+		t.Error("frozen detector did not false-alarm after the furniture step (step too gentle)")
+	}
+}

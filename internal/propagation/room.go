@@ -69,6 +69,16 @@ func (r *Room) AddObstacle(seg geom.Segment, mat Material) {
 	r.Walls = append(r.Walls, Wall{Seg: seg, Mat: mat})
 }
 
+// Clone returns an independent copy of the room, so a scenario variant
+// (e.g. a furniture-move drift preset) can add obstacles without mutating
+// the room a live environment was traced from.
+func (r *Room) Clone() *Room {
+	return &Room{
+		Walls:            append([]Wall(nil), r.Walls...),
+		PathLossExponent: r.PathLossExponent,
+	}
+}
+
 // RayKind labels how a ray reached the receiver.
 type RayKind int
 

@@ -10,4 +10,10 @@
 // CSI extractors from the scenario seed, and NewSession re-builds the setup
 // with the small hardware/placement jitter of the paper's repeated
 // campaigns (day/night, two weeks apart).
+//
+// Environment non-stationarity is first-class: DriftPreset/NewDriftStream
+// wrap a scenario's capture stream with deterministic drift mechanisms — a
+// linear receive-gain walk, temperature-like oscillator (CFO/STO) drift,
+// and a furniture-move step change — the adversarial inputs the adaptation
+// layer (internal/adapt) is tested against.
 package scenario

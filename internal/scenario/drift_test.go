@@ -1,0 +1,215 @@
+package scenario
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"mlink/internal/body"
+	"mlink/internal/propagation"
+)
+
+func classroom(t *testing.T) *Scenario {
+	t.Helper()
+	s, err := Classroom(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestDriftStreamNoDriftMatchesExtractor(t *testing.T) {
+	s := classroom(t)
+	stream, err := s.NewDriftStream(NoDrift(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, err := s.NewExtractor(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same seed offset → identical captures: the no-drift stream is a
+	// transparent source.
+	for i := 0; i < 5; i++ {
+		got, err := stream.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := x.Capture(nil)
+		for ant := range want.CSI {
+			for k := range want.CSI[ant] {
+				if got.CSI[ant][k] != want.CSI[ant][k] {
+					t.Fatalf("packet %d differs at [%d][%d]", i, ant, k)
+				}
+			}
+		}
+		stream.Recycle(got)
+	}
+}
+
+func TestDriftStreamGainWalk(t *testing.T) {
+	s := classroom(t)
+	// 60 dB/min = 1 dB/s = 0.02 dB/packet at 50 pkt/s.
+	stream, err := s.NewDriftStream(GainWalk(60), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, err := s.NewExtractor(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 200
+	var lastGain float64
+	for i := 0; i < n; i++ {
+		wantGainDB := stream.AppliedGainDB()
+		got, err := stream.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := x.Capture(nil)
+		g := math.Pow(10, wantGainDB/20)
+		for ant := range want.CSI {
+			for k := range want.CSI[ant] {
+				scaled := want.CSI[ant][k] * complex(g, 0)
+				if d := got.CSI[ant][k] - scaled; math.Hypot(real(d), imag(d)) > 1e-9*math.Hypot(real(scaled), imag(scaled))+1e-15 {
+					t.Fatalf("packet %d: gain not applied exactly at [%d][%d]", i, ant, k)
+				}
+			}
+			if math.Abs(got.RSSI[ant]-(want.RSSI[ant]+wantGainDB)) > 1e-9 {
+				t.Fatalf("packet %d: RSSI not shifted by %v dB", i, wantGainDB)
+			}
+		}
+		lastGain = wantGainDB
+		stream.Recycle(got)
+	}
+	expected := 60 * float64(n-1) / (60 * s.PacketRate)
+	if math.Abs(lastGain-expected) > 1e-9 {
+		t.Fatalf("gain after %d packets = %v dB, want %v", n, lastGain, expected)
+	}
+}
+
+func TestDriftStreamCFOWalkPreservesAmplitude(t *testing.T) {
+	s := classroom(t)
+	stream, err := s.NewDriftStream(CFOWalk(120, 0.1), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, err := s.NewExtractor(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		got, err := stream.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := x.Capture(nil)
+		for ant := range want.CSI {
+			for k := range want.CSI[ant] {
+				ga := math.Hypot(real(got.CSI[ant][k]), imag(got.CSI[ant][k]))
+				wa := math.Hypot(real(want.CSI[ant][k]), imag(want.CSI[ant][k]))
+				if math.Abs(ga-wa) > 1e-9*wa+1e-15 {
+					t.Fatalf("packet %d: CFO walk changed |H| at [%d][%d]: %v vs %v", i, ant, k, ga, wa)
+				}
+			}
+		}
+		stream.Recycle(got)
+	}
+}
+
+func TestDriftStreamFurnitureStep(t *testing.T) {
+	s := classroom(t)
+	const stepAt = 50
+	stream, err := s.NewDriftStream(FurnitureMove(stepAt), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mean per-subcarrier power before and after the step must differ: the
+	// new obstacle reroutes multipath.
+	power := func(from, to int) float64 {
+		var acc float64
+		var cnt int
+		for i := from; i < to; i++ {
+			if stream.Stepped() != (i >= stepAt) {
+				t.Fatalf("packet %d: Stepped() = %v", i, stream.Stepped())
+			}
+			f, err := stream.Next()
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, row := range f.CSI {
+				for _, v := range row {
+					acc += real(v)*real(v) + imag(v)*imag(v)
+					cnt++
+				}
+			}
+			stream.Recycle(f)
+		}
+		return acc / float64(cnt)
+	}
+	before := power(0, stepAt)
+	after := power(stepAt, 2*stepAt)
+	rel := math.Abs(after-before) / before
+	if rel < 0.02 {
+		t.Fatalf("furniture move changed mean power by only %.2f%% — step invisible", 100*rel)
+	}
+}
+
+func TestDriftStreamBodiesSwitch(t *testing.T) {
+	s := classroom(t)
+	stream, err := s.NewDriftStream(NoDrift(), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	empty, err := stream.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	emptyPow := 0.0
+	for _, v := range empty.CSI[1] {
+		emptyPow += real(v)*real(v) + imag(v)*imag(v)
+	}
+	stream.Recycle(empty)
+	stream.SetBodies([]body.Body{body.Default(s.LinkMidpoint())})
+	occ, err := stream.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	occPow := 0.0
+	for _, v := range occ.CSI[1] {
+		occPow += real(v)*real(v) + imag(v)*imag(v)
+	}
+	if occPow >= emptyPow {
+		t.Fatalf("LOS-blocking body did not attenuate: %v >= %v", occPow, emptyPow)
+	}
+}
+
+func TestDriftPresetValidation(t *testing.T) {
+	s := classroom(t)
+	if _, err := s.NewDriftStream(DriftPreset{Kind: DriftKind(99)}, 1); !errors.Is(err, ErrBadScenario) {
+		t.Fatalf("unknown kind err = %v", err)
+	}
+	if _, err := s.NewDriftStream(DriftPreset{Kind: DriftFurnitureMove, StepAtPacket: -1}, 1); !errors.Is(err, ErrBadScenario) {
+		t.Fatalf("negative step err = %v", err)
+	}
+	for _, k := range []DriftKind{DriftNone, DriftGainWalk, DriftCFOWalk, DriftFurnitureMove} {
+		if k.String() == "" || len(k.String()) > 40 {
+			t.Fatalf("bad name for kind %d", k)
+		}
+	}
+}
+
+func TestWithObstacleDoesNotMutateOriginal(t *testing.T) {
+	s := classroom(t)
+	wallsBefore := len(s.Env.Room.Walls)
+	moved, err := s.WithObstacle(s.defaultFurniture(), propagation.Metal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Env.Room.Walls) != wallsBefore {
+		t.Fatalf("original room mutated: %d walls, had %d", len(s.Env.Room.Walls), wallsBefore)
+	}
+	if len(moved.Env.Room.Walls) != wallsBefore+1 {
+		t.Fatalf("obstacle not added: %d walls", len(moved.Env.Room.Walls))
+	}
+}

@@ -26,6 +26,7 @@ import (
 	"errors"
 	"fmt"
 
+	"mlink/internal/adapt"
 	"mlink/internal/body"
 	"mlink/internal/core"
 	"mlink/internal/csi"
@@ -80,6 +81,10 @@ type System struct {
 	extractor *csi.Extractor
 	cfg       core.Config
 	detector  *core.Detector
+
+	adaptPol   *adapt.Policy
+	adapter    *adapt.Adapter
+	nullScores []float64
 }
 
 // NewClassroomSystem builds the paper's 4 m classroom link (§III-A).
@@ -163,7 +168,47 @@ func (s *System) Calibrate(n int) error {
 		return fmt.Errorf("mlink calibrate: %w", err)
 	}
 	s.detector = det
+	s.nullScores = null
+	s.adapter = nil
+	if s.adaptPol != nil {
+		adapter, err := adapt.NewAdapter(*s.adaptPol, det, null)
+		if err != nil {
+			return fmt.Errorf("mlink calibrate: %w", err)
+		}
+		s.adapter = adapter
+	}
 	return nil
+}
+
+// EnableAdaptation turns on online adaptation for this link: every window
+// passed through DetectPresence or DetectWindow refreshes the profile when
+// confidently empty, re-derives the threshold, and tracks drift health.
+// With no argument the default policy is used. Works before or after
+// Calibrate; a later (re-)Calibrate rebuilds the adapter.
+func (s *System) EnableAdaptation(policy ...AdaptationPolicy) error {
+	p := AdaptationPolicy{}
+	if len(policy) > 0 {
+		p = policy[0]
+	}
+	s.adaptPol = &p
+	if s.detector == nil {
+		return nil
+	}
+	adapter, err := adapt.NewAdapter(p, s.detector, s.nullScores)
+	if err != nil {
+		return fmt.Errorf("mlink adaptation: %w", err)
+	}
+	s.adapter = adapter
+	return nil
+}
+
+// Health returns the link's adaptation snapshot (the zero value when
+// adaptation is disabled or the system is not calibrated).
+func (s *System) Health() LinkHealth {
+	if s.adapter == nil {
+		return LinkHealth{}
+	}
+	return s.adapter.Health()
 }
 
 // Detector exposes the underlying detector (nil before Calibrate).
@@ -175,8 +220,26 @@ func (s *System) DetectPresence(n int, people ...*Person) (Decision, error) {
 	if s.detector == nil {
 		return Decision{}, ErrNotCalibrated
 	}
-	window := s.CaptureWindow(n, people...)
-	return s.detector.Detect(window)
+	return s.DetectWindow(s.CaptureWindow(n, people...))
+}
+
+// DetectWindow scores an externally collected window against the threshold
+// and, when adaptation is enabled, feeds the outcome to the adaptation
+// loop.
+func (s *System) DetectWindow(window []*Frame) (Decision, error) {
+	if s.detector == nil {
+		return Decision{}, ErrNotCalibrated
+	}
+	dec, err := s.detector.Detect(window)
+	if err != nil {
+		return Decision{}, err
+	}
+	if s.adapter != nil {
+		if _, err := s.adapter.Observe(window, dec); err != nil {
+			return Decision{}, fmt.Errorf("mlink adaptation: %w", err)
+		}
+	}
+	return dec, nil
 }
 
 // ScoreWindow scores an externally collected window (e.g. frames received

@@ -97,6 +97,145 @@ func TestCustomPerson(t *testing.T) {
 	}
 }
 
+func TestSystemAdaptation(t *testing.T) {
+	sys, err := NewClassroomSystem(SchemeSubcarrier, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.EnableAdaptation(); err != nil {
+		t.Fatal(err)
+	}
+	if h := sys.Health(); h.State != HealthUnknown {
+		t.Fatalf("health before calibrate = %+v", h)
+	}
+	if err := sys.Calibrate(200); err != nil {
+		t.Fatal(err)
+	}
+	var last Decision
+	for i := 0; i < 10; i++ {
+		if last, err = sys.DetectPresence(25); err != nil {
+			t.Fatal(err)
+		}
+		if last.Present {
+			t.Fatalf("false positive on empty room at window %d: %+v", i, last)
+		}
+	}
+	h := sys.Health()
+	if h.Refreshes == 0 {
+		t.Fatalf("no profile refreshes after 10 empty windows: %+v", h)
+	}
+	if h.State == HealthQuarantined {
+		t.Fatalf("quiet link quarantined: %+v", h)
+	}
+	// Presence still detected after adaptation has been refreshing.
+	present, err := sys.DetectPresence(25, &Person{X: 3, Y: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !present.Present {
+		t.Fatalf("missed LOS presence after adaptation: %+v", present)
+	}
+}
+
+func TestEngineFacadeAdaptiveDriftFleet(t *testing.T) {
+	eng := NewEngine(EngineConfig{Workers: 2, WindowSize: 25, Fusion: WeightedKOfN{K: 1}})
+	if err := eng.EnableAdaptation(); err != nil {
+		t.Fatal(err)
+	}
+	sysA, err := NewLinkCaseSystem(2, SchemeSubcarrier, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sysB, err := NewLinkCaseSystem(3, SchemeSubcarrier, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.AddDriftLink("walking", sysA, GainWalkDrift(12)); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.AddLink("steady", sysB); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Calibrate(150); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Run(t.Context(), 8); err != nil {
+		t.Fatal(err)
+	}
+	v, err := eng.Verdict()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Total != 2 {
+		t.Fatalf("fused %d links", v.Total)
+	}
+	for _, ld := range v.Links {
+		if ld.Weight <= 0 || ld.Weight > 1 {
+			t.Fatalf("link %s fusion weight %v out of (0,1]", ld.LinkID, ld.Weight)
+		}
+	}
+	m := eng.Metrics()
+	for _, lm := range m.PerLink {
+		if !lm.Adaptive {
+			t.Fatalf("link %s not adaptive", lm.ID)
+		}
+	}
+}
+
+// TestEngineFacadeRecalibrateClearsQuarantine walks the full recovery
+// story: a furniture move mid-run quarantines the adaptive link, and
+// Recalibrate (room empty again) rebuilds it into a healthy link whose
+// post-move baseline no longer false-alarms.
+func TestEngineFacadeRecalibrateClearsQuarantine(t *testing.T) {
+	eng := NewEngine(EngineConfig{Workers: 2, WindowSize: 25})
+	if err := eng.EnableAdaptation(); err != nil {
+		t.Fatal(err)
+	}
+	// Seed 2 matches the experiments quarantine test: its furniture step
+	// shifts scores far past the threshold (on gentler seeds the same move
+	// can land under the silent gate and be legitimately absorbed).
+	sys, err := NewLinkCaseSystem(2, SchemeSubcarrier, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Calibration consumes 300 packets (150 + 150 holdout); the furniture
+	// moves 150 packets into monitoring.
+	if err := eng.AddDriftLink("furn", sys, FurnitureMoveDrift(450)); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Calibrate(150); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Run(t.Context(), 30); err != nil {
+		t.Fatal(err)
+	}
+	h := eng.Metrics().PerLink[0].Health
+	if !h.NeedsRecalibration {
+		t.Fatalf("furniture move did not flag recalibration: %+v", h)
+	}
+	if err := eng.Recalibrate("furn", 150); err != nil {
+		t.Fatal(err)
+	}
+	h = eng.Metrics().PerLink[0].Health
+	if h.NeedsRecalibration {
+		t.Fatalf("recalibration did not clear the flag: %+v", h)
+	}
+	// The rebuilt baseline includes the moved furniture. The fresh
+	// adapter still has to bootstrap through this extractor's OU gain
+	// excursion (~10 windows of transient alarms on this seed), so give it
+	// the full horizon and judge the settled state.
+	if err := eng.Run(t.Context(), 30); err != nil {
+		t.Fatal(err)
+	}
+	lm := eng.Metrics().PerLink[0]
+	if lm.Health.NeedsRecalibration || lm.Health.State == HealthQuarantined {
+		t.Fatalf("recalibrated link did not recover: %+v", lm)
+	}
+	if lm.Present {
+		t.Fatalf("recalibrated link still false-alarming after settling: %+v", lm)
+	}
+}
+
 func TestScoreWindowExternalFrames(t *testing.T) {
 	sys, err := NewClassroomSystem(SchemeSubcarrierPath, 5)
 	if err != nil {
