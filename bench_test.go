@@ -396,13 +396,19 @@ func benchmarkEngineScoring(b *testing.B, workers int) {
 	if err := e.Calibrate(ctx, 60); err != nil {
 		b.Fatal(err)
 	}
+	// Warm-up: one window per link primes the persistent shard scratches and
+	// window slabs, so the timer sees only the steady state.
+	if err := e.Run(ctx, 1); err != nil {
+		b.Fatal(err)
+	}
+	warm := e.Metrics().WindowsScored
 	b.ReportAllocs()
 	b.ResetTimer()
 	if err := e.Run(ctx, b.N); err != nil {
 		b.Fatal(err)
 	}
 	b.StopTimer()
-	scored := float64(e.Metrics().WindowsScored)
+	scored := float64(e.Metrics().WindowsScored - warm)
 	b.ReportMetric(scored/b.Elapsed().Seconds(), "scores/s")
 }
 
@@ -414,6 +420,78 @@ func BenchmarkEngineScoringWorkers(b *testing.B) {
 		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
 			benchmarkEngineScoring(b, w)
 		})
+	}
+}
+
+// BenchmarkEngineSteadyState measures one full steady-state tick of the
+// sharded pipeline per benchmark op: every link of an 8-link fleet pulls and
+// scores one window, and every fleet-wide round of decisions triggers a
+// fused site verdict plus a metrics poll through the reuse-friendly
+// VerdictInto/MetricsInto/LinksInto paths — the complete monitoring loop a
+// daemon like mlink-serve runs forever. A warm-up Run primes the per-link
+// slabs, shard scratches and report buffers outside the timer; after it the
+// loop must report 0 allocs/op (cmd/benchcheck enforces this in CI; the
+// constant per-Run setup — spawning shards, one context — amortizes to zero
+// over the ≥100 timed ops CI's precise pass uses).
+func BenchmarkEngineSteadyState(b *testing.B) {
+	const links = 8
+	s, frames := engineFixture(b)
+	var (
+		reportMu sync.Mutex
+		decided  int
+		verdict  engine.SiteVerdict
+		metrics  engine.Metrics
+		ids      []string
+		verdicts uint64
+		e        *engine.Engine
+	)
+	e = engine.New(engine.Config{
+		Workers:    4,
+		WindowSize: 25,
+		Fusion:     engine.KOfN{K: 1},
+		OnDecision: func(string, core.Decision) {
+			// The daemon's report loop: after each fleet-wide round, fuse a
+			// site verdict and poll the metrics block, all through the
+			// allocation-free Into variants.
+			reportMu.Lock()
+			defer reportMu.Unlock()
+			decided++
+			if decided%links != 0 {
+				return
+			}
+			if err := e.VerdictInto(&verdict); err != nil {
+				b.Error(err)
+			}
+			e.MetricsInto(&metrics)
+			ids = e.LinksInto(ids)
+			verdicts++
+		},
+	})
+	for i := 0; i < links; i++ {
+		cfg := core.DefaultConfig(s.Grid, core.SchemeSubcarrier, s.Env.RX.Offsets())
+		if err := e.AddLink(fmt.Sprintf("l%d", i), cfg, engine.NewReplaySource(frames, true)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	ctx := context.Background()
+	if err := e.Calibrate(ctx, 60); err != nil {
+		b.Fatal(err)
+	}
+	// Warm-up: primes slabs, scratches and the report loop's buffers.
+	if err := e.Run(ctx, 2); err != nil {
+		b.Fatal(err)
+	}
+	warm := e.Metrics().WindowsScored
+	b.ReportAllocs()
+	b.ResetTimer()
+	if err := e.Run(ctx, b.N); err != nil {
+		b.Fatal(err)
+	}
+	b.StopTimer()
+	scored := float64(e.Metrics().WindowsScored - warm)
+	b.ReportMetric(scored/b.Elapsed().Seconds(), "scores/s")
+	if verdicts == 0 {
+		b.Fatal("report loop never fused a verdict")
 	}
 }
 

@@ -19,6 +19,14 @@
 //     slowdown of the cached path halves the ratio). Pairs whose baseline
 //     cached time is under 1 µs are skipped — a single-iteration timing of
 //     a nanosecond-scale table copy is timer noise, not signal.
+//   - Recorded speedups: a baseline entry may carry prev_ns_per_op (the
+//     same benchmark's ns/op from an earlier baseline, measured on the same
+//     host) and min_speedup. benchcheck then asserts ns_per_op ≤
+//     prev_ns_per_op/min_speedup — a static check on the committed baseline
+//     itself, so regenerating the file with numbers that give back a
+//     claimed optimization (PR 4's ≥3× engine scoring win, above all)
+//     fails CI until the regression is fixed or the claim is consciously
+//     retired. Host-portable because both numbers come from the same host.
 //
 // A single -benchtime=1x iteration cannot tell a one-time lazy-init
 // allocation from a per-op one (both show as allocs/op over N=1), so CI
@@ -51,6 +59,12 @@ type baselineEntry struct {
 	NsPerOp     float64 `json:"ns_per_op"`
 	BytesPerOp  float64 `json:"bytes_per_op"`
 	AllocsPerOp float64 `json:"allocs_per_op"`
+	// PrevNsPerOp and MinSpeedup, when both set, assert that this baseline
+	// preserves a recorded optimization: ns_per_op must be at least
+	// MinSpeedup× faster than PrevNsPerOp (both measured on the baseline
+	// host).
+	PrevNsPerOp float64 `json:"prev_ns_per_op,omitempty"`
+	MinSpeedup  float64 `json:"min_speedup,omitempty"`
 }
 
 type baseline struct {
@@ -165,6 +179,13 @@ func run() error {
 
 	var failures []string
 	for _, b := range base.Benchmarks {
+		if b.PrevNsPerOp > 0 && b.MinSpeedup > 0 {
+			if b.NsPerOp <= 0 || b.PrevNsPerOp/b.NsPerOp < b.MinSpeedup {
+				failures = append(failures, fmt.Sprintf(
+					"%s: baseline %v ns/op is only %.2f× its recorded predecessor %v ns/op, < required %v×",
+					b.Name, b.NsPerOp, b.PrevNsPerOp/b.NsPerOp, b.PrevNsPerOp, b.MinSpeedup))
+			}
+		}
 		r, ok := got[b.Name]
 		if !ok {
 			failures = append(failures, fmt.Sprintf("%s: missing from run (perf harness rot?)", b.Name))

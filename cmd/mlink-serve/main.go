@@ -20,6 +20,8 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
+	_ "net/http/pprof" // -pprof exposes the default mux's profile endpoints
 	"os"
 	"os/signal"
 	"sync"
@@ -91,8 +93,18 @@ func run() error {
 		driftName  = flag.String("drift", "none", "environment drift preset applied to every link: none|gain|cfo|furniture")
 		driftRate  = flag.Float64("drift-rate", 12, "gain-walk slope in dB/min (for -drift gain)")
 		driftStep  = flag.Int("drift-step", 600, "furniture-move packet (for -drift furniture)")
+		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060) for live CPU/heap profiles")
 	)
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				log.Printf("pprof server: %v", err)
+			}
+		}()
+		fmt.Printf("pprof listening on http://%s/debug/pprof/\n", *pprofAddr)
+	}
 
 	scheme, err := schemeOf(*schemeName)
 	if err != nil {
@@ -113,6 +125,7 @@ func run() error {
 	var (
 		printMu sync.Mutex
 		decided int
+		verdict mlink.SiteVerdict // reused across report ticks (VerdictInto)
 		eng     *mlink.Engine
 	)
 	eng = mlink.NewEngine(mlink.EngineConfig{
@@ -129,9 +142,9 @@ func run() error {
 			fmt.Printf("%s link %-6s score %7.4f  thr %7.4f\n", mark, linkID, d.Score, d.Threshold)
 			decided++
 			if decided%*nLinks == 0 {
-				if v, err := eng.Verdict(); err == nil {
+				if err := eng.VerdictInto(&verdict); err == nil {
 					fmt.Printf("  site [%s] present=%v score=%.3f (%d/%d links positive)\n",
-						v.Policy, v.Present, v.Score, v.Positive, v.Total)
+						verdict.Policy, verdict.Present, verdict.Score, verdict.Positive, verdict.Total)
 				}
 			}
 		},
@@ -171,7 +184,9 @@ func run() error {
 		return err
 	}
 	fmt.Printf("calibrated in %v\n", time.Since(start).Round(time.Millisecond))
-	for _, lm := range eng.Metrics().PerLink {
+	var m mlink.EngineMetrics // reused across polls (MetricsInto)
+	eng.MetricsInto(&m)
+	for _, lm := range m.PerLink {
 		fmt.Printf("  link %-8s mean mu %6.3f  threshold %7.4f\n", lm.ID, lm.MeanMu, lm.Threshold)
 	}
 
@@ -181,7 +196,7 @@ func run() error {
 		return err
 	}
 
-	m := eng.Metrics()
+	eng.MetricsInto(&m)
 	fmt.Printf("\nscored %d windows (%d frames) at %.1f windows/s across %d links\n",
 		m.WindowsScored, m.FramesSeen, m.ScoresPerSec, m.Links)
 	if *adaptOn {

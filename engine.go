@@ -219,6 +219,10 @@ func (e *Engine) AddDriftLink(id string, sys *System, preset DriftPreset, people
 // Links lists the fleet's link IDs in registration order.
 func (e *Engine) Links() []string { return e.eng.Links() }
 
+// LinksInto is Links appending into a caller-owned buffer (reset to length
+// zero first) — the allocation-free variant for report loops.
+func (e *Engine) LinksInto(dst []string) []string { return e.eng.LinksInto(dst) }
+
 // Calibrate calibrates every link in parallel from n empty-room packets
 // each (plus n held-out packets for threshold calibration). On success the
 // links' people, if any, enter their rooms for subsequent monitoring.
@@ -268,5 +272,20 @@ func (e *Engine) Verdict() (SiteVerdict, error) {
 	return v, nil
 }
 
+// VerdictInto is Verdict reusing the caller's SiteVerdict (notably its Links
+// slice), so a steady-state report loop fuses the fleet without allocating.
+// Safe to call while the engine runs: link state is read from lock-free
+// snapshots and never blocks the scoring shards.
+func (e *Engine) VerdictInto(v *SiteVerdict) error {
+	if err := e.eng.VerdictInto(v); err != nil {
+		return fmt.Errorf("mlink verdict: %w", err)
+	}
+	return nil
+}
+
 // Metrics snapshots fleet-wide and per-link monitoring counters.
 func (e *Engine) Metrics() EngineMetrics { return e.eng.Metrics() }
+
+// MetricsInto is Metrics reusing the caller's struct (notably its PerLink
+// slice) — the allocation-free variant for report loops.
+func (e *Engine) MetricsInto(m *EngineMetrics) { e.eng.MetricsInto(m) }

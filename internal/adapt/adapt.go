@@ -4,7 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
-	"sync"
+	"sync/atomic"
 
 	"mlink/internal/core"
 	"mlink/internal/csi"
@@ -167,12 +167,17 @@ func (p Policy) validate() error {
 
 // Adapter runs the adaptation policy for one link: it owns the link's
 // mutable profile state and drift monitor, and pushes refreshed profiles
-// and thresholds into the link's detector. Observe is safe for concurrent
-// use.
+// and thresholds into the link's detector.
+//
+// Observe is single-writer: a link's observations are inherently ordered (the
+// drift monitor's jump discriminator and the EWMA refresh sequence are
+// order-sensitive), so exactly one goroutine — the engine shard that owns the
+// link, or the single-link System — may call it, and it takes no lock.
+// Health may be read from any goroutine at any time: snapshots are published
+// through an atomic seqlock, so readers never block the observer.
 type Adapter struct {
 	pol Policy
 
-	mu            sync.Mutex
 	det           *core.Detector
 	lp            *core.LinkProfile
 	mon           *core.DriftMonitor
@@ -180,8 +185,79 @@ type Adapter struct {
 	sc            *core.Scratch
 	nulls         []float64 // rolling null scores, newest appended
 	baseThr       float64   // calibration-time threshold (floor reference)
-	health        Health
+	health        Health    // observer-owned working copy
 	sinceRederive int
+
+	pub healthPub
+}
+
+// AtomicHealth stores a Health snapshot field-by-field in atomics. Store
+// and Load are individually race-free but not mutually consistent on their
+// own — wrap them in a sequence lock (as healthPub here and the engine's
+// per-link state do) when a torn multi-field snapshot would matter. Having
+// exactly one pack/unpack implementation keeps every publisher in lockstep
+// when Health grows a field.
+type AtomicHealth struct {
+	state      atomic.Int32
+	driftZ     atomic.Uint64
+	shiftDB    atomic.Uint64
+	refreshes  atomic.Uint64
+	thrUpdates atomic.Uint64
+	threshold  atomic.Uint64
+	needsRecal atomic.Bool
+}
+
+// Store writes every field of h atomically.
+func (a *AtomicHealth) Store(h Health) {
+	a.state.Store(int32(h.State))
+	a.driftZ.Store(math.Float64bits(h.DriftZ))
+	a.shiftDB.Store(math.Float64bits(h.ProfileShiftDB))
+	a.refreshes.Store(h.Refreshes)
+	a.thrUpdates.Store(h.ThresholdUpdates)
+	a.threshold.Store(math.Float64bits(h.Threshold))
+	a.needsRecal.Store(h.NeedsRecalibration)
+}
+
+// Load reads every field atomically.
+func (a *AtomicHealth) Load() Health {
+	return Health{
+		State:              State(a.state.Load()),
+		DriftZ:             math.Float64frombits(a.driftZ.Load()),
+		ProfileShiftDB:     math.Float64frombits(a.shiftDB.Load()),
+		Refreshes:          a.refreshes.Load(),
+		ThresholdUpdates:   a.thrUpdates.Load(),
+		Threshold:          math.Float64frombits(a.threshold.Load()),
+		NeedsRecalibration: a.needsRecal.Load(),
+	}
+}
+
+// healthPub atomically publishes Health snapshots: the writer bumps seq to
+// odd, stores every field atomically, bumps seq back to even; readers retry
+// until they observe one even sequence across a whole field read. All
+// accesses are atomic, so publication is race-free without any lock, and the
+// single writer never blocks however many readers poll.
+type healthPub struct {
+	seq atomic.Uint64
+	h   AtomicHealth
+}
+
+func (p *healthPub) publish(h Health) {
+	p.seq.Add(1)
+	p.h.Store(h)
+	p.seq.Add(1)
+}
+
+func (p *healthPub) load() Health {
+	for {
+		s := p.seq.Load()
+		if s&1 != 0 {
+			continue
+		}
+		h := p.h.Load()
+		if p.seq.Load() == s {
+			return h
+		}
+	}
 }
 
 // NewAdapter wires adaptation onto a calibrated detector. calNullScores is
@@ -213,7 +289,7 @@ func NewAdapter(pol Policy, det *core.Detector, calNullScores []float64) (*Adapt
 		tail = tail[len(tail)-pol.NullWindow:]
 	}
 	nulls = append(nulls, tail...)
-	return &Adapter{
+	a := &Adapter{
 		pol:     pol,
 		det:     det,
 		lp:      lp,
@@ -222,17 +298,18 @@ func NewAdapter(pol Policy, det *core.Detector, calNullScores []float64) (*Adapt
 		nulls:   nulls,
 		baseThr: det.Threshold(),
 		health:  Health{State: StateUnknown, Threshold: det.Threshold()},
-	}, nil
+	}
+	a.pub.publish(a.health)
+	return a, nil
 }
 
 // Policy returns the normalized policy in effect.
 func (a *Adapter) Policy() Policy { return a.pol }
 
-// Health returns the latest health snapshot.
+// Health returns the latest health snapshot. Safe to call from any
+// goroutine, concurrently with Observe; it never blocks the observer.
 func (a *Adapter) Health() Health {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	return a.health
+	return a.pub.load()
 }
 
 // Observe folds one scored monitoring window into the adaptation state:
@@ -240,9 +317,11 @@ func (a *Adapter) Health() Health {
 // windows, and periodically re-derives the threshold from the rolling null
 // distribution. The window's frames are only read during the call — the
 // caller may recycle them afterwards. It returns the post-update health.
+//
+// Observe must be called from a single goroutine (the link's owner); see the
+// Adapter doc comment.
 func (a *Adapter) Observe(window []*csi.Frame, dec core.Decision) (Health, error) {
-	a.mu.Lock()
-	defer a.mu.Unlock()
+	defer func() { a.pub.publish(a.health) }()
 
 	a.mon.Observe(dec.Score)
 	stats := a.mon.Snapshot()
@@ -269,7 +348,7 @@ func (a *Adapter) Observe(window []*csi.Frame, dec core.Decision) (Health, error
 		!stats.JumpExceeded &&
 		math.Abs(dec.Score-stats.RecentMean) <= a.pol.TrackBand*stats.RefStd
 	if silent || tracking {
-		if err := a.refreshLocked(window, dec.Score); err != nil {
+		if err := a.refresh(window, dec.Score); err != nil {
 			return a.health, err
 		}
 	}
@@ -297,9 +376,9 @@ func (a *Adapter) Observe(window []*csi.Frame, dec core.Decision) (Health, error
 	return a.health, nil
 }
 
-// refreshLocked applies one silent-window profile refresh and, at the
-// configured cadence, re-derives the threshold from the rolling nulls.
-func (a *Adapter) refreshLocked(window []*csi.Frame, score float64) error {
+// refresh applies one silent-window profile refresh and, at the configured
+// cadence, re-derives the threshold from the rolling nulls.
+func (a *Adapter) refresh(window []*csi.Frame, score float64) error {
 	if err := a.det.MeasureWindow(&a.ws, window, a.sc); err != nil {
 		return fmt.Errorf("adapt measure: %w", err)
 	}

@@ -126,17 +126,19 @@ func TestAdapterValidation(t *testing.T) {
 	}
 }
 
-// TestAdapterConcurrentObserve hammers Observe from several goroutines (the
-// engine's scoring workers can finish two windows of one link out of
-// order); run under -race this validates the adapter's locking.
-func TestAdapterConcurrentObserve(t *testing.T) {
+// TestAdapterConcurrentHealthReaders runs the single-writer Observe loop
+// (the contract: exactly one goroutine — the link's owning shard — observes)
+// while several goroutines hammer the lock-free Health snapshots; under
+// -race this validates the atomic seqlock publication, and the readers
+// assert every snapshot is internally consistent (monotonic refresh counts).
+func TestAdapterConcurrentHealthReaders(t *testing.T) {
 	h := newHarness(t, 59)
 	a, err := NewAdapter(Policy{}, h.det, h.null)
 	if err != nil {
 		t.Fatal(err)
 	}
 	// Pre-capture windows and decisions serially (the extractor is not
-	// concurrent-safe); hammer Observe concurrently.
+	// concurrent-safe); the observer then feeds them in stream order.
 	type job struct {
 		window []*csi.Frame
 		dec    core.Decision
@@ -150,21 +152,36 @@ func TestAdapterConcurrentObserve(t *testing.T) {
 		}
 		jobs[i] = job{window: w, dec: dec}
 	}
-	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	var readers sync.WaitGroup
 	for i := 0; i < 4; i++ {
-		wg.Add(1)
-		go func(worker int) {
-			defer wg.Done()
-			for j := worker; j < len(jobs); j += 4 {
-				if _, err := a.Observe(jobs[j].window, jobs[j].dec); err != nil {
-					t.Error(err)
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			var lastRefreshes uint64
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				hs := a.Health()
+				if hs.Refreshes < lastRefreshes {
+					t.Errorf("refresh count went backwards: %d after %d", hs.Refreshes, lastRefreshes)
 					return
 				}
+				lastRefreshes = hs.Refreshes
 			}
-		}(i)
+		}()
 	}
-	wg.Wait()
+	for _, j := range jobs {
+		if _, err := a.Observe(j.window, j.dec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	readers.Wait()
 	if a.Health().Refreshes == 0 {
-		t.Fatal("no refreshes from concurrent observers")
+		t.Fatal("no refreshes from the observer loop")
 	}
 }

@@ -249,6 +249,18 @@ func (d *Detector) Detect(window []*csi.Frame) (Decision, error) {
 	return d.DetectScratch(window, nil)
 }
 
+// DetectInto is DetectScratch writing into a caller-owned Decision — the
+// batch-friendly entry point for long-lived scoring loops that reuse their
+// decision structs across ticks. On error dec is left untouched.
+func (d *Detector) DetectInto(dec *Decision, window []*csi.Frame, sc *Scratch) error {
+	out, err := d.DetectScratch(window, sc)
+	if err != nil {
+		return err
+	}
+	*dec = out
+	return nil
+}
+
 // Score computes the scheme's distance statistic for a window of M frames
 // (§IV-C monitoring stage).
 func (d *Detector) Score(window []*csi.Frame) (float64, error) {

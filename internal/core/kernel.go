@@ -171,8 +171,9 @@ func (k *Kernel) scoreBaseline(profile *Profile, window []*csi.Frame, sc *Scratc
 }
 
 // windowWeights derives the subcarrier weights from the monitoring window's
-// multipath factors, per antenna. The multipath-factor rows live in the
-// scratch and are only valid until its next use.
+// multipath factors, per antenna, entirely into scratch-owned rows — the
+// steady-state scoring loop allocates nothing here. The returned rows are
+// only valid until the scratch's next use.
 func (k *Kernel) windowWeights(window []*csi.Frame, sc *Scratch) ([][]float64, error) {
 	nAnt := window[0].NumAntennas()
 	nSub := window[0].NumSubcarriers()
@@ -184,32 +185,41 @@ func (k *Kernel) windowWeights(window []*csi.Frame, sc *Scratch) ([][]float64, e
 				return nil, err
 			}
 		}
+		row := sc.weightRow(ant, nSub)
 		if k.cfg.UsePerPacketWeights {
 			// Eq. 12 ablation: average the per-packet weights.
-			acc := make([]float64, len(mus[0]))
+			for i := range row {
+				row[i] = 0
+			}
+			tmp := sc.medRow(nSub)
 			for _, mu := range mus {
-				w, err := PerPacketWeights(mu)
-				if err != nil {
+				if err := PerPacketWeightsInto(tmp, mu); err != nil {
 					return nil, err
 				}
-				for i, v := range w {
-					acc[i] += v / float64(len(mus))
+				for i, v := range tmp {
+					row[i] += v / float64(len(mus))
 				}
 			}
-			perAnt[ant] = acc
+			perAnt[ant] = row
 			continue
 		}
-		sw, err := ComputeSubcarrierWeights(mus)
-		if err != nil {
+		if err := ComputeSubcarrierWeightsInto(&sc.sw, mus, sc.medRow(nSub)); err != nil {
 			return nil, err
 		}
-		perAnt[ant] = sw.Weights
+		perAnt[ant] = row[:copy(row, sc.sw.Weights)]
 	}
 	return perAnt, nil
 }
 
 // scoreSubcarrier: Euclidean norm of the Eq. 15 weighted RSS changes,
 // averaged across antennas.
+//
+// The window's mean per-subcarrier RSS in dB is computed as
+// 10·log₁₀(Π_f p_f)/M rather than Σ 10·log₁₀(p_f)/M — the same quantity
+// with one logarithm per subcarrier instead of one per packet (Log10 was
+// the scoring loop's hottest call). Running power products are rescaled by
+// 10^±300 before they can leave the double range; the decade offsets are
+// folded back into the dB mean.
 func (k *Kernel) scoreSubcarrier(profile *Profile, window []*csi.Frame, sc *Scratch) (float64, error) {
 	weights, err := k.windowWeights(window, sc)
 	if err != nil {
@@ -219,18 +229,34 @@ func (k *Kernel) scoreSubcarrier(profile *Profile, window []*csi.Frame, sc *Scra
 	nSub := window[0].NumSubcarriers()
 	var total float64
 	for ant := 0; ant < nAnt; ant++ {
-		meanRSS := sc.accumulator(nSub)
+		prod := sc.accumulator(nSub) // running power products
+		exps := sc.medRow(nSub)      // rescue decades, in powers of 10
+		for kk := 0; kk < nSub; kk++ {
+			prod[kk], exps[kk] = 1, 0
+		}
 		for _, f := range window {
-			rss := sc.rssRow(nSub)
-			subcarrierRSSdBInto(rss, f.CSI[ant])
+			row := f.CSI[ant]
 			for kk := 0; kk < nSub; kk++ {
-				meanRSS[kk] += rss[kk]
+				re, im := real(row[kk]), imag(row[kk])
+				v := prod[kk] * (re*re + im*im)
+				switch {
+				case v > 0 && v < 1e-150:
+					v *= 1e300
+					exps[kk] -= 300
+				case v > 1e150:
+					v *= 1e-300
+					exps[kk] += 300
+				}
+				prod[kk] = v
 			}
 		}
 		var dist, wNorm float64
 		for kk := 0; kk < nSub; kk++ {
-			meanRSS[kk] /= float64(len(window))
-			delta := meanRSS[kk] - profile.MeanRSSdB[ant][kk]
+			meanRSS := math.Inf(-1) // a zero-power subcarrier, as in SubcarrierRSSdB
+			if prod[kk] > 0 {
+				meanRSS = (10*math.Log10(prod[kk]) + 10*exps[kk]) / float64(len(window))
+			}
+			delta := meanRSS - profile.MeanRSSdB[ant][kk]
 			wd := weights[ant][kk] * delta
 			dist += wd * wd
 			wNorm += weights[ant][kk] * weights[ant][kk]

@@ -26,6 +26,16 @@ type Scratch struct {
 	targets []float64
 	freqs   []float64
 	invSq   float64
+	// Resampling knots: target i interpolates between row[knotLo[i]] and
+	// row[knotHi[i]] at fraction knotFrac[i] — precomputed once per grid so
+	// the per-packet loop does no searching or validation.
+	knotLo, knotHi []int
+	knotFrac       []float64
+	// plNum[k] = (1/f_k²)/Σf⁻², the Eq. 10 path-loss numerator.
+	plNum []float64
+	// xform is the planned power-delay-profile transform (mixed-radix FFT
+	// for smooth sizes such as the 30-subcarrier grid).
+	xform *dsp.Transform
 
 	// Reusable multipath-factor buffers.
 	uniform []complex128
@@ -33,10 +43,13 @@ type Scratch struct {
 	powers  []float64
 
 	// Reusable detector buffers.
-	acc  []float64   // per-subcarrier accumulator (mean amplitude / RSS)
-	row  []float64   // one frame's RSS row
-	mus  [][]float64 // window multipath factors, [packet][subcarrier]
-	pant [][]float64 // per-antenna weight vectors
+	acc   []float64   // per-subcarrier accumulator (mean amplitude / RSS)
+	row   []float64   // one frame's RSS row
+	mus   [][]float64 // window multipath factors, [packet][subcarrier]
+	pant  [][]float64 // per-antenna weight vectors
+	wrows [][]float64 // per-antenna weight row backing (Eq. 15 / Eq. 12)
+	med   []float64   // median-selection work row
+	sw    SubcarrierWeights
 
 	// Reusable sanitized-window frames.
 	san sanitize.Scratch
@@ -65,6 +78,36 @@ func (sc *Scratch) bindGrid(grid *channel.Grid) {
 	for _, f := range sc.freqs {
 		sc.invSq += 1 / (f * f)
 	}
+	// Interpolation knots: targets are ascending across the xs span, so one
+	// forward sweep replaces the per-packet binary searches.
+	sc.knotLo = growInts(&sc.knotLo, n)
+	sc.knotHi = growInts(&sc.knotHi, n)
+	sc.knotFrac = growFloats(&sc.knotFrac, n)
+	lo := 0
+	for i, t := range sc.targets {
+		switch {
+		case t <= sc.xs[0]:
+			sc.knotLo[i], sc.knotHi[i], sc.knotFrac[i] = 0, 0, 0
+		case t >= sc.xs[n-1]:
+			sc.knotLo[i], sc.knotHi[i], sc.knotFrac[i] = n-1, n-1, 0
+		default:
+			for sc.xs[lo+1] <= t {
+				lo++
+			}
+			sc.knotLo[i] = lo
+			sc.knotHi[i] = lo + 1
+			sc.knotFrac[i] = (t - sc.xs[lo]) / (sc.xs[lo+1] - sc.xs[lo])
+		}
+	}
+	sc.plNum = growFloats(&sc.plNum, n)
+	if sc.invSq > 0 {
+		for k, f := range sc.freqs {
+			sc.plNum[k] = (1 / (f * f)) / sc.invSq
+		}
+	}
+	if sc.xform == nil || sc.xform.Len() != n {
+		sc.xform = dsp.NewTransform(n)
+	}
 	sc.grid = grid
 }
 
@@ -84,16 +127,23 @@ func (sc *Scratch) MultipathFactorsInto(dst []float64, row []complex128, grid *c
 	n := len(row)
 	sc.bindGrid(grid)
 
-	// Resample onto a uniform index grid (the 5300 indices skip pilots).
+	// Resample onto a uniform index grid (the 5300 indices skip pilots),
+	// through the knots precomputed by bindGrid.
 	sc.uniform = growComplexes(&sc.uniform, n)
-	if err := dsp.InterpolateComplexInto(sc.uniform, sc.xs, row, sc.targets); err != nil {
-		return fmt.Errorf("resample: %w", err)
+	for i := 0; i < n; i++ {
+		lo, hi := sc.knotLo[i], sc.knotHi[i]
+		if lo == hi {
+			sc.uniform[i] = row[lo]
+			continue
+		}
+		frac := sc.knotFrac[i]
+		sc.uniform[i] = row[lo]*complex(1-frac, 0) + row[hi]*complex(frac, 0)
 	}
 
 	// Dominant-path cluster power via the strongest IDFT tap and its two
 	// cyclic neighbours (see MultipathFactors for the derivation).
 	sc.taps = growComplexes(&sc.taps, n)
-	dsp.IDFTInto(sc.taps, sc.uniform)
+	sc.xform.IDFTInto(sc.taps, sc.uniform)
 	sc.powers = growFloats(&sc.powers, n)
 	best := 0
 	for i, tap := range sc.taps {
@@ -119,8 +169,7 @@ func (sc *Scratch) MultipathFactorsInto(dst []float64, row []complex128, grid *c
 			dst[k] = 0
 			continue
 		}
-		pl := (1 / (sc.freqs[k] * sc.freqs[k])) / sc.invSq * pDom
-		dst[k] = pl / p
+		dst[k] = sc.plNum[k] * pDom / p
 	}
 	return nil
 }
@@ -163,6 +212,25 @@ func (sc *Scratch) perAntenna(nAnt int) [][]float64 {
 	return sc.pant
 }
 
+// weightRow returns antenna ant's reusable weight row of n floats.
+func (sc *Scratch) weightRow(ant, n int) []float64 {
+	if cap(sc.wrows) <= ant {
+		next := make([][]float64, ant+1)
+		copy(next, sc.wrows[:cap(sc.wrows)])
+		sc.wrows = next
+	}
+	if len(sc.wrows) <= ant {
+		sc.wrows = sc.wrows[:ant+1]
+	}
+	return growFloats(&sc.wrows[ant], n)
+}
+
+// medRow returns the reusable median/selection work row.
+func (sc *Scratch) medRow(n int) []float64 {
+	sc.med = growFloats(&sc.med, n)
+	return sc.med
+}
+
 func growFloats(buf *[]float64, n int) []float64 {
 	if cap(*buf) < n {
 		*buf = make([]float64, n)
@@ -174,6 +242,14 @@ func growFloats(buf *[]float64, n int) []float64 {
 func growComplexes(buf *[]complex128, n int) []complex128 {
 	if cap(*buf) < n {
 		*buf = make([]complex128, n)
+	}
+	*buf = (*buf)[:n]
+	return *buf
+}
+
+func growInts(buf *[]int, n int) []int {
+	if cap(*buf) < n {
+		*buf = make([]int, n)
 	}
 	*buf = (*buf)[:n]
 	return *buf

@@ -25,22 +25,44 @@ type SubcarrierWeights struct {
 // ComputeSubcarrierWeights derives Eq. 15 weights from a window of
 // multipath-factor measurements mus[m][k] (packet m, subcarrier k).
 func ComputeSubcarrierWeights(mus [][]float64) (*SubcarrierWeights, error) {
+	sw := &SubcarrierWeights{}
+	if err := ComputeSubcarrierWeightsInto(sw, mus, nil); err != nil {
+		return nil, err
+	}
+	return sw, nil
+}
+
+// ComputeSubcarrierWeightsInto is ComputeSubcarrierWeights writing into a
+// caller-owned output struct, reusing sw's slices across calls — the scoring
+// hot path's entry point. scratch, when non-nil, is a work buffer of at
+// least one subcarrier row (it is clobbered); nil allocates a transient one.
+func ComputeSubcarrierWeightsInto(sw *SubcarrierWeights, mus [][]float64, scratch []float64) error {
 	if len(mus) == 0 {
-		return nil, fmt.Errorf("no packets: %w", ErrBadInput)
+		return fmt.Errorf("no packets: %w", ErrBadInput)
 	}
 	k := len(mus[0])
 	if k == 0 {
-		return nil, fmt.Errorf("no subcarriers: %w", ErrBadInput)
+		return fmt.Errorf("no subcarriers: %w", ErrBadInput)
 	}
-	meanMu := make([]float64, k)
-	ratio := make([]float64, k)
+	meanMu := growFloats(&sw.MeanMu, k)
+	ratio := growFloats(&sw.StabilityRatio, k)
+	for i := range meanMu {
+		meanMu[i], ratio[i] = 0, 0
+	}
+	if cap(scratch) < k {
+		scratch = make([]float64, k)
+	}
+	scratch = scratch[:k]
 	for m, mu := range mus {
 		if len(mu) != k {
-			return nil, fmt.Errorf("packet %d has %d subcarriers, want %d: %w", m, len(mu), k, ErrBadInput)
+			return fmt.Errorf("packet %d has %d subcarriers, want %d: %w", m, len(mu), k, ErrBadInput)
 		}
-		med, err := dsp.Median(mu)
+		// Median via allocation-free selection on the scratch copy (the mu
+		// row itself must keep its subcarrier order).
+		copy(scratch, mu)
+		med, err := dsp.MedianInPlace(scratch)
 		if err != nil {
-			return nil, fmt.Errorf("packet %d median: %w", m, err)
+			return fmt.Errorf("packet %d median: %w", m, err)
 		}
 		for i, v := range mu {
 			meanMu[i] += v
@@ -57,41 +79,61 @@ func ComputeSubcarrierWeights(mus [][]float64) (*SubcarrierWeights, error) {
 		sumMu += meanMu[i]
 		sumR += ratio[i]
 	}
-	w := make([]float64, k)
-	if sumMu > 0 && sumR > 0 {
+	w := growFloats(&sw.Weights, k)
+	switch {
+	case sumMu > 0 && sumR > 0:
 		for i := range w {
 			w[i] = math.Abs(meanMu[i] * ratio[i] / (sumMu * sumR))
 		}
-	} else if sumMu > 0 {
+	case sumMu > 0:
 		// Degenerate window (e.g. a single packet where no subcarrier ever
 		// exceeds the median of an all-equal μ vector): fall back to the
 		// per-packet Eq. 12 weighting.
 		for i := range w {
 			w[i] = math.Abs(meanMu[i] / sumMu)
 		}
+	default:
+		for i := range w {
+			w[i] = 0
+		}
 	}
-	return &SubcarrierWeights{MeanMu: meanMu, StabilityRatio: ratio, Weights: w}, nil
+	return nil
 }
 
 // PerPacketWeights implements the simpler Eq. 12 weighting from a single
 // packet's multipath factors: wk = |μk / Σμ|. Used as an ablation of the
 // stability ratio.
 func PerPacketWeights(mu []float64) ([]float64, error) {
+	out := make([]float64, len(mu))
+	if err := PerPacketWeightsInto(out, mu); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// PerPacketWeightsInto is PerPacketWeights writing into a caller-owned
+// buffer of len(mu).
+func PerPacketWeightsInto(dst, mu []float64) error {
 	if len(mu) == 0 {
-		return nil, fmt.Errorf("no subcarriers: %w", ErrBadInput)
+		return fmt.Errorf("no subcarriers: %w", ErrBadInput)
+	}
+	if len(dst) != len(mu) {
+		return fmt.Errorf("%d weights for %d factors: %w", len(dst), len(mu), ErrBadInput)
 	}
 	var sum float64
 	for _, v := range mu {
 		sum += v
 	}
-	out := make([]float64, len(mu))
 	if sum == 0 {
-		return out, nil
+		for i := range dst {
+			dst[i] = 0
+		}
+		return nil
 	}
 	for i, v := range mu {
-		out[i] = math.Abs(v / sum)
+		dst[i] = math.Abs(v / sum)
 	}
-	return out, nil
+	return nil
 }
 
 // ApplyWeights returns the element-wise weighted copy w∘Δs (Eq. 12/15

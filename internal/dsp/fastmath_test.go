@@ -1,0 +1,88 @@
+package dsp
+
+import (
+	"math"
+	"testing"
+)
+
+// TestAtan2FastAccuracy sweeps a dense quadrant grid and asserts the
+// documented 1e-10 rad bound against math.Atan2.
+func TestAtan2FastAccuracy(t *testing.T) {
+	maxErr := 0.0
+	for i := -700; i <= 700; i++ {
+		for j := -700; j <= 700; j++ {
+			y, x := float64(i)/180, float64(j)/180
+			if x == 0 && y == 0 {
+				continue
+			}
+			if e := math.Abs(Atan2Fast(y, x) - math.Atan2(y, x)); e > maxErr {
+				maxErr = e
+			}
+		}
+	}
+	t.Logf("max |Atan2Fast-Atan2| = %.3e rad", maxErr)
+	if maxErr > 1e-10 {
+		t.Fatalf("Atan2Fast error %.3e exceeds 1e-10 rad", maxErr)
+	}
+}
+
+// TestAtan2FastSpecials checks the fallback cases match math.Atan2 bit for
+// bit (sign of zero included).
+func TestAtan2FastSpecials(t *testing.T) {
+	inf, nan := math.Inf(1), math.NaN()
+	cases := [][2]float64{
+		{0, 0}, {0, math.Copysign(0, -1)}, {math.Copysign(0, -1), 0},
+		{math.Copysign(0, -1), math.Copysign(0, -1)},
+		{0, 1}, {math.Copysign(0, -1), 1}, {0, -1}, {math.Copysign(0, -1), -1},
+		{1, 0}, {-1, 0}, {1, math.Copysign(0, -1)},
+		{inf, 1}, {-inf, 1}, {1, inf}, {1, -inf}, {inf, inf}, {inf, -inf},
+		{nan, 1}, {1, nan}, {nan, nan},
+		{1e308, 1e308}, {-1e308, 1e-308},
+	}
+	for _, c := range cases {
+		got, want := Atan2Fast(c[0], c[1]), math.Atan2(c[0], c[1])
+		if math.IsNaN(want) {
+			if !math.IsNaN(got) {
+				t.Errorf("Atan2Fast(%v, %v) = %v, want NaN", c[0], c[1], got)
+			}
+			continue
+		}
+		if math.Abs(got-want) > 1e-10 || math.Signbit(got) != math.Signbit(want) {
+			t.Errorf("Atan2Fast(%v, %v) = %v, want %v", c[0], c[1], got, want)
+		}
+	}
+}
+
+// TestSincosFastAccuracy asserts the documented 2e-9 bound over a wide
+// phase range, plus exactness of the fallbacks.
+func TestSincosFastAccuracy(t *testing.T) {
+	maxErr := 0.0
+	for i := -600000; i <= 600000; i++ {
+		phi := float64(i) / 4000 // ±150 rad
+		s, c := SincosFast(phi)
+		ws, wc := math.Sincos(phi)
+		if e := math.Max(math.Abs(s-ws), math.Abs(c-wc)); e > maxErr {
+			maxErr = e
+		}
+	}
+	t.Logf("max SincosFast error = %.3e", maxErr)
+	if maxErr > 2e-9 {
+		t.Fatalf("SincosFast error %.3e exceeds 2e-9", maxErr)
+	}
+	// Sample the top of the fast range, where range-reduction error peaks.
+	for i := 0; i < 20000; i++ {
+		phi := 999900.0 + float64(i)/200
+		s, c := SincosFast(phi)
+		ws, wc := math.Sincos(phi)
+		if e := math.Max(math.Abs(s-ws), math.Abs(c-wc)); e > 2e-9 {
+			t.Fatalf("SincosFast(%v) error %.3e exceeds 2e-9 near the cutoff", phi, e)
+		}
+	}
+	for _, phi := range []float64{math.NaN(), math.Inf(1), math.Inf(-1), 1e7, -1e7, 1e12, -1e12} {
+		s, c := SincosFast(phi)
+		ws, wc := math.Sincos(phi)
+		if !(s == ws || (math.IsNaN(s) && math.IsNaN(ws))) || !(c == wc || (math.IsNaN(c) && math.IsNaN(wc))) {
+			t.Errorf("SincosFast(%v) = (%v, %v), want (%v, %v)", phi, s, c, ws, wc)
+		}
+	}
+}

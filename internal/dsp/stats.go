@@ -46,18 +46,145 @@ func StdDev(xs []float64) (float64, error) {
 }
 
 // Median returns the median of xs (average of the two central elements for
-// even lengths).
+// even lengths). The input is copied; MedianInPlace is the allocation-free
+// variant for hot paths.
 func Median(xs []float64) (float64, error) {
 	if len(xs) == 0 {
 		return 0, fmt.Errorf("median: %w", ErrEmptyInput)
 	}
 	s := append([]float64(nil), xs...)
-	sort.Float64s(s)
-	n := len(s)
-	if n%2 == 1 {
-		return s[n/2], nil
+	return MedianInPlace(s)
+}
+
+// MedianInPlace returns the median of xs without allocating, partially
+// reordering xs via quickselect (O(n) expected, versus the O(n log n) full
+// sort Median pays). Both functions order NaNs first, like sort.Float64s,
+// so they agree element-for-element on any input.
+func MedianInPlace(xs []float64) (float64, error) {
+	n := len(xs)
+	if n == 0 {
+		return 0, fmt.Errorf("median: %w", ErrEmptyInput)
 	}
-	return (s[n/2-1] + s[n/2]) / 2, nil
+	// NaN-free data (the overwhelmingly common case) selects with plain
+	// float compares; any NaN falls back to the sort.Float64s ordering.
+	clean := true
+	for _, v := range xs {
+		if v != v {
+			clean = false
+			break
+		}
+	}
+	var upper float64
+	if clean {
+		upper = quickselectFast(xs, n/2)
+	} else {
+		upper = quickselect(xs, n/2)
+	}
+	if n%2 == 1 {
+		return upper, nil
+	}
+	// Even length: the lower middle is the maximum of the left partition,
+	// which quickselect left holding the n/2 smallest elements.
+	lower := xs[0]
+	for _, v := range xs[1:n/2] {
+		if fltLess(lower, v) {
+			lower = v
+		}
+	}
+	return (lower + upper) / 2, nil
+}
+
+// quickselectFast is quickselect for NaN-free data: plain float compares
+// and a Hoare-style partition, which swaps far less than Lomuto on the
+// mostly-unsorted rows the scoring loop feeds it.
+func quickselectFast(xs []float64, k int) float64 {
+	lo, hi := 0, len(xs)-1
+	for lo < hi {
+		// Median-of-three pivot, sorted into place so xs[lo] ≤ p ≤ xs[hi].
+		mid := lo + (hi-lo)/2
+		if xs[mid] < xs[lo] {
+			xs[mid], xs[lo] = xs[lo], xs[mid]
+		}
+		if xs[hi] < xs[lo] {
+			xs[hi], xs[lo] = xs[lo], xs[hi]
+		}
+		if xs[hi] < xs[mid] {
+			xs[hi], xs[mid] = xs[mid], xs[hi]
+		}
+		pivot := xs[mid]
+		// Hoare partition: after the loop, xs[lo..j] ≤ pivot ≤ xs[j+1..hi].
+		i, j := lo-1, hi+1
+		for {
+			for {
+				i++
+				if xs[i] >= pivot {
+					break
+				}
+			}
+			for {
+				j--
+				if xs[j] <= pivot {
+					break
+				}
+			}
+			if i >= j {
+				break
+			}
+			xs[i], xs[j] = xs[j], xs[i]
+		}
+		if k <= j {
+			hi = j
+		} else {
+			lo = j + 1
+		}
+	}
+	return xs[k]
+}
+
+// fltLess is the sort.Float64s ordering: NaNs sort before everything. The
+// x != x spelling of IsNaN keeps the comparison inlinable in the selection
+// loop.
+func fltLess(a, b float64) bool {
+	return a < b || (a != a && b == b)
+}
+
+// quickselect partially sorts xs so that xs[k] holds the k-th smallest
+// element (0-based) and xs[:k] holds only elements ≤ it, returning xs[k].
+// Median-of-three pivoting keeps sorted and constant inputs at O(n).
+func quickselect(xs []float64, k int) float64 {
+	lo, hi := 0, len(xs)-1
+	for lo < hi {
+		// Median-of-three pivot, moved to xs[hi].
+		mid := lo + (hi-lo)/2
+		if fltLess(xs[mid], xs[lo]) {
+			xs[mid], xs[lo] = xs[lo], xs[mid]
+		}
+		if fltLess(xs[hi], xs[lo]) {
+			xs[hi], xs[lo] = xs[lo], xs[hi]
+		}
+		if fltLess(xs[hi], xs[mid]) {
+			xs[hi], xs[mid] = xs[mid], xs[hi]
+		}
+		pivot := xs[hi]
+		// Lomuto partition around the pivot.
+		i := lo
+		for j := lo; j < hi; j++ {
+			if fltLess(xs[j], pivot) {
+				xs[i], xs[j] = xs[j], xs[i]
+				i++
+			}
+		}
+		xs[i], xs[hi] = xs[hi], xs[i]
+		switch {
+		case k == i:
+			return xs[k]
+		case k < i:
+			hi = i - 1
+		default:
+			lo = i + 1
+		}
+	}
+	return xs[k]
 }
 
 // Percentile returns the p-th percentile (0 ≤ p ≤ 100) of xs using linear

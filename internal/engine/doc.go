@@ -5,17 +5,21 @@
 // one site-level presence decision.
 //
 // Calibration runs per link in parallel on a bounded worker pool. During
-// monitoring, one assembler goroutine per link slices the link's frame
-// stream (a csinet client, a simulated extractor, or a recorded replay)
-// into fixed-size windows and feeds a shared scoring pool whose workers
-// reuse per-worker core.Scratch buffers, keeping the hot path free of
-// per-window allocations. Sources that implement FrameRecycler (such as
-// PooledExtractorSource) get their frames back after each window is scored,
-// so steady-state monitoring allocates neither frames nor windows. Per-link
-// core.Decisions are fused by a pluggable FusionPolicy (k-of-n, max-score,
-// quality-weighted k-of-n), and a snapshotable Metrics block tracks windows
-// scored, scoring throughput, per-link mean multipath factor μ and
-// adaptation health.
+// monitoring, links are distributed over min(Workers, links) long-lived
+// shards with link affinity: each shard owns its links' window slabs,
+// detectors, adapters and one core.Scratch, and advances its links one
+// window at a time in registration order. Because nothing on the score path
+// is shared between shards, the steady state runs with no locks, no channel
+// hand-offs and zero allocations per window — and because each link's
+// windows are scored strictly in stream order, per-link decision sequences
+// are bit-identical whatever the shard count. Sources that implement
+// FrameRecycler (such as PooledExtractorSource) get their frames back after
+// each window is scored, so steady-state monitoring allocates neither
+// frames nor windows. Per-link core.Decisions are fused by a pluggable
+// FusionPolicy (k-of-n, max-score, quality-weighted k-of-n); Verdict and
+// Metrics (plus their reuse-friendly VerdictInto/MetricsInto/LinksInto
+// variants) read atomically-published per-link snapshots, so monitoring
+// dashboards can poll as fast as they like without ever blocking a scorer.
 //
 // With Config.Adaptation set, every calibrated link runs an adapt.Adapter:
 // scored windows refresh the link's profile when confidently empty, the

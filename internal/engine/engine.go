@@ -31,7 +31,10 @@ var (
 
 // Config parameterizes an Engine.
 type Config struct {
-	// Workers bounds the calibration and scoring pools (default GOMAXPROCS).
+	// Workers bounds the calibration pool and the number of scoring shards
+	// (default GOMAXPROCS). Links are distributed over min(Workers, links)
+	// long-lived shards with link affinity — parallelism is per link, so
+	// more workers than links buys nothing.
 	Workers int
 	// WindowSize is the monitoring window in packets (default 25, the
 	// paper's operating point at 50 packets/s).
@@ -50,7 +53,7 @@ type Config struct {
 	// (which quality-weighted fusion consumes). The zero Policy selects the
 	// package defaults.
 	Adaptation *adapt.Policy
-	// OnDecision, when non-nil, is invoked from scoring workers after every
+	// OnDecision, when non-nil, is invoked from scoring shards after every
 	// scored window. It must be safe for concurrent use and fast.
 	OnDecision func(linkID string, d core.Decision)
 }
@@ -75,29 +78,40 @@ func (c Config) withDefaults() Config {
 }
 
 // link is one monitored TX–RX pair.
+//
+// The mutable fields are partitioned by owner rather than guarded by a
+// mutex: det/adapter/meanMu are written only while e.calibrating (and read
+// afterwards through the e.mu happens-before chain); win/scored/done belong
+// to the link's shard during Run; everything Verdict and Metrics need is
+// published through state, which readers load without locking.
 type link struct {
 	id       string
 	cfg      core.Config
 	src      Source
 	recycler FrameRecycler // non-nil when src pools its frames
 
-	// scoreDone serializes an adaptive link's windows: the assembler waits
-	// for window w's score+Observe to finish before submitting w+1, so the
-	// adapter always sees a link's scores in stream order (the drift
-	// monitor's jump discriminator and the EWMA refresh sequence are
-	// order-sensitive) and results stay deterministic across pool sizes.
-	// Nil for non-adaptive links, whose windows may score out of order.
-	scoreDone chan struct{}
+	det     *core.Detector
+	adapter *adapt.Adapter // nil when adaptation is disabled
+	meanMu  float64
 
-	mu       sync.Mutex
-	det      *core.Detector
-	adapter  *adapt.Adapter // nil when adaptation is disabled
-	health   adapt.Health
-	meanMu   float64
-	last     core.Decision
-	decided  bool
-	windows  uint64
-	scoreSum float64
+	// win is the link's persistent window slab: one WindowSize-capacity
+	// frame buffer reused for every tick of every Run — the replacement for
+	// the old per-tick pool round trips.
+	win    []*csi.Frame
+	scored int
+	done   bool
+
+	state linkState
+}
+
+// shard is one long-lived scoring worker: it owns a subset of the links
+// (assigned round-robin by registration order at Run start), a scratch, and
+// nothing else — every per-window buffer it touches hangs off its links, so
+// the steady-state loop shares no mutable state with other shards and takes
+// no lock. Shards persist across Runs so their scratches stay warm.
+type shard struct {
+	sc    *core.Scratch
+	links []*link
 }
 
 // Engine monitors a fleet of links concurrently.
@@ -113,23 +127,17 @@ type Engine struct {
 	// pulling frames from a link's single-reader source.
 	calibrating bool
 	runStart    time.Time
+	shards      []*shard
 
 	windowsScored atomic.Uint64
 	framesSeen    atomic.Uint64
 	runNanos      atomic.Int64
-
-	windowPool sync.Pool
 }
 
 // New builds an engine; zero-valued config fields take defaults.
 func New(cfg Config) *Engine {
 	cfg = cfg.withDefaults()
-	e := &Engine{cfg: cfg, byID: make(map[string]*link)}
-	e.windowPool.New = func() any {
-		s := make([]*csi.Frame, 0, cfg.WindowSize)
-		return &s
-	}
-	return e
+	return &Engine{cfg: cfg, byID: make(map[string]*link)}
 }
 
 // WindowSize reports the effective monitoring window in packets.
@@ -175,19 +183,19 @@ func (e *Engine) AddLink(id string, cfg core.Config, src Source) error {
 
 // Links lists the fleet's link IDs in registration order.
 func (e *Engine) Links() []string {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	out := make([]string, len(e.links))
-	for i, l := range e.links {
-		out[i] = l.id
-	}
-	return out
+	return e.LinksInto(nil)
 }
 
-func (e *Engine) snapshot() []*link {
+// LinksInto is Links appending into a caller-owned buffer (reset to length
+// zero first), so a report loop can poll the fleet without allocating.
+func (e *Engine) LinksInto(dst []string) []string {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	return append([]*link(nil), e.links...)
+	dst = dst[:0]
+	for _, l := range e.links {
+		dst = append(dst, l.id)
+	}
+	return dst
 }
 
 // pull reads n frames from a source, counting them into the metrics.
@@ -316,18 +324,14 @@ func (e *Engine) calibrateLink(ctx context.Context, l *link, n int) error {
 	if l.cfg.Sanitize {
 		l.recycleFrames(cal)
 	}
-	l.mu.Lock()
 	l.det = det
 	l.adapter = adapter
-	l.health = adapt.Health{}
-	if adapter != nil {
-		l.health = adapter.Health()
-		if l.scoreDone == nil {
-			l.scoreDone = make(chan struct{}, 1)
-		}
-	}
 	l.meanMu = meanMu
-	l.mu.Unlock()
+	health := adapt.Health{}
+	if adapter != nil {
+		health = adapter.Health()
+	}
+	l.state.publishCalibration(meanMu, det.Threshold(), adapter != nil, health)
 	return nil
 }
 
@@ -394,36 +398,71 @@ func linkMeanMu(frames []*csi.Frame, cfg core.Config) (float64, error) {
 	return acc / float64(len(frames)), nil
 }
 
-// scoreJob is one window awaiting a pool worker.
-type scoreJob struct {
-	l      *link
-	window *[]*csi.Frame
+// ensureShards (re)builds the shard set for the current fleet under e.mu.
+// Shard structs and their scratches persist across Runs — only the link
+// assignment is refreshed — so a warmed-up engine re-enters its steady state
+// without reallocating anything.
+func (e *Engine) ensureShards() {
+	n := e.cfg.Workers
+	if n > len(e.links) {
+		n = len(e.links)
+	}
+	if len(e.shards) != n {
+		shards := make([]*shard, n)
+		for i := range shards {
+			if i < len(e.shards) {
+				shards[i] = e.shards[i]
+			} else {
+				shards[i] = &shard{sc: core.NewScratch()}
+			}
+		}
+		e.shards = shards
+	}
+	for _, sh := range e.shards {
+		sh.links = sh.links[:0]
+	}
+	for i, l := range e.links {
+		sh := e.shards[i%n]
+		sh.links = append(sh.links, l)
+		if cap(l.win) < e.cfg.WindowSize {
+			l.win = make([]*csi.Frame, 0, e.cfg.WindowSize)
+		}
+		l.scored = 0
+		l.done = false
+	}
 }
 
 // Run monitors the whole fleet until every link has scored windowsPerLink
-// windows (0 = until its source ends or ctx is cancelled). Each link gets an
-// assembler goroutine slicing its stream into windows; scoring fans out over
-// the shared worker pool. Every link must be calibrated first.
+// windows (0 = until its source ends or ctx is cancelled). Links are
+// assigned round-robin to min(Workers, links) persistent shards; each shard
+// advances its links one window at a time, in registration order, so every
+// link's windows are scored in stream order and its decision sequence is
+// identical whatever the shard count (see TestEngineShardedMatchesSequential).
+// Every link must be calibrated first.
+//
+// Links sharing a shard advance in lockstep: a source that blocks in Next
+// stalls its shard-mates too, so fleets fed by blocking sources (csinet)
+// should run with Workers ≥ links.
 func (e *Engine) Run(ctx context.Context, windowsPerLink int) error {
-	links := e.snapshot()
-	if len(links) == 0 {
-		return ErrNoLinks
-	}
-	for _, l := range links {
-		l.mu.Lock()
-		calibrated := l.det != nil
-		l.mu.Unlock()
-		if !calibrated {
-			return fmt.Errorf("%w: %s", ErrNotCalibrated, l.id)
-		}
-	}
 	e.mu.Lock()
 	if e.running || e.calibrating {
 		e.mu.Unlock()
 		return ErrRunning
 	}
+	if len(e.links) == 0 {
+		e.mu.Unlock()
+		return ErrNoLinks
+	}
+	for _, l := range e.links {
+		if l.det == nil {
+			e.mu.Unlock()
+			return fmt.Errorf("%w: %s", ErrNotCalibrated, l.id)
+		}
+	}
+	e.ensureShards()
 	e.running = true
 	e.runStart = time.Now()
+	shards := e.shards
 	e.mu.Unlock()
 	defer func() {
 		e.mu.Lock()
@@ -434,11 +473,9 @@ func (e *Engine) Run(ctx context.Context, windowsPerLink int) error {
 
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
-	jobs := make(chan scoreJob)
 
-	// First-error recorder: goroutines may fail any number of times (a
-	// worker keeps draining jobs after an error), so errors are folded into
-	// one slot rather than sent on a channel that could fill and block.
+	// First-error recorder: shards may fail any number of times, so errors
+	// fold into one slot rather than a channel that could fill and block.
 	var (
 		errMu    sync.Mutex
 		firstErr error
@@ -455,78 +492,105 @@ func (e *Engine) Run(ctx context.Context, windowsPerLink int) error {
 		cancel()
 	}
 
-	var workers sync.WaitGroup
-	for i := 0; i < e.cfg.Workers; i++ {
-		workers.Add(1)
-		go func() {
-			defer workers.Done()
-			sc := core.NewScratch()
-			for job := range jobs {
-				fail(e.score(job, sc))
-			}
-		}()
+	var wg sync.WaitGroup
+	for _, sh := range shards {
+		wg.Add(1)
+		go func(sh *shard) {
+			defer wg.Done()
+			e.runShard(ctx, sh, windowsPerLink, fail)
+		}(sh)
 	}
-
-	var assemblers sync.WaitGroup
-	for _, l := range links {
-		assemblers.Add(1)
-		go func(l *link) {
-			defer assemblers.Done()
-			if err := e.assemble(ctx, l, windowsPerLink, jobs); err != nil {
-				fail(fmt.Errorf("link %s: %w", l.id, err))
-			}
-		}(l)
-	}
-
-	assemblers.Wait()
-	close(jobs)
-	workers.Wait()
+	wg.Wait()
 	errMu.Lock()
 	defer errMu.Unlock()
 	return firstErr
 }
 
-// assemble slices one link's stream into windows and submits them for
-// scoring. A clean end of stream (io.EOF) stops the link without error.
-// For an adaptive link, each window must finish scoring (and feeding the
-// adapter) before the next is submitted — see link.scoreDone.
-func (e *Engine) assemble(ctx context.Context, l *link, windowsPerLink int, jobs chan<- scoreJob) error {
-	if l.scoreDone != nil {
-		// Drop a token a cancelled previous run may have left behind.
+// runShard drives one shard's links round-robin, one window per link per
+// pass, until every link is done or the context ends. The loop owns all the
+// state it touches — links' slabs and detectors, the shard scratch — so the
+// steady state runs without locks or allocations.
+func (e *Engine) runShard(ctx context.Context, sh *shard, windowsPerLink int, fail func(error)) {
+	active := len(sh.links)
+	done := ctx.Done()
+	for active > 0 {
 		select {
-		case <-l.scoreDone:
+		case <-done:
+			return
 		default:
 		}
-	}
-	for w := 0; windowsPerLink <= 0 || w < windowsPerLink; w++ {
-		buf := e.windowPool.Get().(*[]*csi.Frame)
-		*buf = (*buf)[:0]
-		var err error
-		*buf, err = e.pull(ctx, l.src, *buf, e.cfg.WindowSize)
-		if err != nil {
-			l.recycleFrames(*buf)
-			e.windowPool.Put(buf)
-			if errors.Is(err, io.EOF) || errors.Is(err, context.Canceled) {
-				return nil
+		for _, l := range sh.links {
+			if l.done {
+				continue
 			}
-			return err
+			ok, err := e.tick(done, sh, l)
+			if err != nil {
+				fail(fmt.Errorf("link %s: %w", l.id, err))
+				return
+			}
+			if !ok {
+				l.done = true
+				active--
+				continue
+			}
+			l.scored++
+			if windowsPerLink > 0 && l.scored >= windowsPerLink {
+				l.done = true
+				active--
+			}
 		}
+	}
+}
+
+// tick pulls and scores one window for a link: assemble into the link's
+// slab, score against its detector with the shard scratch, let the adapter
+// observe, recycle the frames, publish the decision. It reports ok=false on
+// a clean end of stream (EOF or cancellation). done is polled between
+// frames — a non-blocking channel read, a few ns — so cancellation lands
+// mid-window even on slow real-time sources, not a whole shard pass later.
+func (e *Engine) tick(done <-chan struct{}, sh *shard, l *link) (bool, error) {
+	l.win = l.win[:0]
+	for len(l.win) < e.cfg.WindowSize {
 		select {
-		case jobs <- scoreJob{l: l, window: buf}:
-		case <-ctx.Done():
-			l.recycleFrames(*buf)
-			e.windowPool.Put(buf)
-			return nil
+		case <-done:
+			e.framesSeen.Add(uint64(len(l.win)))
+			l.recycleFrames(l.win)
+			return false, nil
+		default:
 		}
-		if l.scoreDone != nil {
-			select {
-			case <-l.scoreDone:
-			case <-ctx.Done():
-				return nil
+		f, err := l.src.Next()
+		if err != nil {
+			e.framesSeen.Add(uint64(len(l.win)))
+			l.recycleFrames(l.win)
+			if errors.Is(err, io.EOF) || errors.Is(err, context.Canceled) {
+				return false, nil
 			}
+			return false, err
 		}
+		l.win = append(l.win, f)
 	}
-	return nil
+	e.framesSeen.Add(uint64(len(l.win)))
+
+	dec, err := l.det.DetectScratch(l.win, sh.sc)
+	var health adapt.Health
+	if err == nil && l.adapter != nil {
+		health, err = l.adapter.Observe(l.win, dec)
+	}
+	l.recycleFrames(l.win)
+	l.win = l.win[:0]
+	if err != nil {
+		return false, err
+	}
+	threshold := dec.Threshold
+	if l.adapter != nil {
+		threshold = health.Threshold
+	}
+	l.state.publishDecision(dec, threshold, health)
+	e.windowsScored.Add(1)
+	if cb := e.cfg.OnDecision; cb != nil {
+		cb(l.id, dec)
+	}
+	return true, nil
 }
 
 // recycleFrames hands a scored window's frames back to a pooling source.
@@ -542,81 +606,38 @@ func (l *link) recycleFrames(frames []*csi.Frame) {
 	}
 }
 
-// score runs one window through the link's detector with the worker's
-// scratch, lets the link's adapter observe the outcome (profile refresh /
-// drift tracking happen here, before the frames are recycled), and folds
-// the decision into the link and engine state.
-func (e *Engine) score(job scoreJob, sc *core.Scratch) error {
-	l := job.l
-	if l.scoreDone != nil {
-		// Release the link's assembler whatever happens below; the token
-		// is what keeps an adaptive link's windows in stream order.
-		defer func() { l.scoreDone <- struct{}{} }()
-	}
-	dec, err := l.det.DetectScratch(*job.window, sc)
-	var health adapt.Health
-	if err == nil && l.adapter != nil {
-		health, err = l.adapter.Observe(*job.window, dec)
-	}
-	l.recycleFrames(*job.window)
-	*job.window = (*job.window)[:0]
-	e.windowPool.Put(job.window)
-	if err != nil {
-		return fmt.Errorf("link %s: %w", l.id, err)
-	}
-	l.mu.Lock()
-	l.last = dec
-	l.decided = true
-	l.windows++
-	l.scoreSum += dec.Score
-	if l.adapter != nil {
-		l.health = health
-	}
-	l.mu.Unlock()
-	e.windowsScored.Add(1)
-	if cb := e.cfg.OnDecision; cb != nil {
-		cb(l.id, dec)
-	}
-	return nil
-}
-
 // ScoreWindow synchronously scores one externally assembled window on the
-// named link (outside the pool — for tests and ad-hoc probes).
+// named link — for tests and ad-hoc probes. It is rejected while Run or a
+// calibration is active: the link's detector, adapter and published state
+// have exactly one writer at a time.
 func (e *Engine) ScoreWindow(linkID string, window []*csi.Frame) (core.Decision, error) {
 	e.mu.Lock()
+	defer e.mu.Unlock()
 	l, ok := e.byID[linkID]
-	e.mu.Unlock()
 	if !ok {
 		return core.Decision{}, fmt.Errorf("%w: %s", ErrUnknownLink, linkID)
 	}
-	l.mu.Lock()
-	det := l.det
-	l.mu.Unlock()
-	if det == nil {
+	if e.running || e.calibrating {
+		return core.Decision{}, ErrRunning
+	}
+	if l.det == nil {
 		return core.Decision{}, fmt.Errorf("%w: %s", ErrNotCalibrated, linkID)
 	}
-	dec, err := det.Detect(window)
+	dec, err := l.det.Detect(window)
 	if err != nil {
 		return core.Decision{}, err
 	}
 	var health adapt.Health
-	l.mu.Lock()
-	adapter := l.adapter
-	l.mu.Unlock()
-	if adapter != nil {
-		if health, err = adapter.Observe(window, dec); err != nil {
+	if l.adapter != nil {
+		if health, err = l.adapter.Observe(window, dec); err != nil {
 			return core.Decision{}, err
 		}
 	}
-	l.mu.Lock()
-	l.last = dec
-	l.decided = true
-	l.windows++
-	l.scoreSum += dec.Score
-	if adapter != nil {
-		l.health = health
+	threshold := dec.Threshold
+	if l.adapter != nil {
+		threshold = health.Threshold
 	}
-	l.mu.Unlock()
+	l.state.publishDecision(dec, threshold, health)
 	e.windowsScored.Add(1)
 	e.framesSeen.Add(uint64(len(window)))
 	return dec, nil
@@ -630,34 +651,54 @@ func (e *Engine) ScoreWindow(linkID string, window []*csi.Frame) (core.Decision,
 // health — so weight-aware policies (WeightedKOfN) let well-characterized
 // healthy links dominate drifting or insensitive ones.
 func (e *Engine) Verdict() (SiteVerdict, error) {
-	links := e.snapshot()
-	if len(links) == 0 {
-		return SiteVerdict{}, ErrNoLinks
+	var v SiteVerdict
+	if err := e.VerdictInto(&v); err != nil {
+		return SiteVerdict{}, err
 	}
-	decisions := make([]LinkDecision, 0, len(links))
+	return v, nil
+}
+
+// VerdictInto is Verdict reusing the caller's SiteVerdict — in particular
+// its Links slice — so a steady-state report loop fuses the fleet without
+// allocating. Link state is read from lock-free published snapshots; the
+// fleet lock is held only to walk the link list, never while scoring.
+func (e *Engine) VerdictInto(v *SiteVerdict) error {
+	decisions := v.Links[:0]
+	var snap linkSnap
+	e.mu.Lock()
+	if len(e.links) == 0 {
+		e.mu.Unlock()
+		return ErrNoLinks
+	}
 	var maxMu float64
-	for _, l := range links {
-		l.mu.Lock()
-		if l.decided && l.meanMu > maxMu {
-			maxMu = l.meanMu
+	for _, l := range e.links {
+		l.state.load(&snap)
+		if snap.Windows > 0 && snap.MeanMu > maxMu {
+			maxMu = snap.MeanMu
 		}
-		l.mu.Unlock()
 	}
-	for _, l := range links {
-		l.mu.Lock()
-		if l.decided {
-			quality := 1.0
-			if maxMu > 0 && l.meanMu > 0 {
-				quality = l.meanMu / maxMu
-			}
-			decisions = append(decisions, LinkDecision{
-				LinkID:   l.id,
-				Decision: l.last,
-				Weight:   quality * l.health.Weight(),
-				Health:   l.health,
-			})
+	for _, l := range e.links {
+		l.state.load(&snap)
+		if snap.Windows == 0 {
+			continue
 		}
-		l.mu.Unlock()
+		quality := 1.0
+		if maxMu > 0 && snap.MeanMu > 0 {
+			quality = snap.MeanMu / maxMu
+		}
+		decisions = append(decisions, LinkDecision{
+			LinkID:   l.id,
+			Decision: snap.Last,
+			Weight:   quality * snap.Health.Weight(),
+			Health:   snap.Health,
+		})
 	}
-	return e.cfg.Fusion.Fuse(decisions)
+	e.mu.Unlock()
+	out, err := e.cfg.Fusion.Fuse(decisions)
+	if err != nil {
+		v.Links = decisions
+		return err
+	}
+	*v = out
+	return nil
 }

@@ -59,10 +59,17 @@ type FusionPolicy interface {
 // threshold is inclusive.
 type KOfN struct{ K int }
 
+// kofnNames interns the common K values so Fuse, which stamps the policy
+// name into every verdict, stays allocation-free on the steady-state path.
+var kofnNames = [...]string{"", "1-of-n", "2-of-n", "3-of-n", "4-of-n", "5-of-n", "6-of-n", "7-of-n", "8-of-n"}
+
 // String implements FusionPolicy.
 func (p KOfN) String() string {
 	if p.K <= 0 {
 		return "majority"
+	}
+	if p.K < len(kofnNames) {
+		return kofnNames[p.K]
 	}
 	return fmt.Sprintf("%d-of-n", p.K)
 }
@@ -112,10 +119,17 @@ func (p KOfN) Fuse(decisions []LinkDecision) (SiteVerdict, error) {
 // positive votes keep count-based KOfN.
 type WeightedKOfN struct{ K int }
 
+// weightedNames mirrors kofnNames for the weighted policy.
+var weightedNames = [...]string{"", "weighted-1-of-n", "weighted-2-of-n", "weighted-3-of-n", "weighted-4-of-n",
+	"weighted-5-of-n", "weighted-6-of-n", "weighted-7-of-n", "weighted-8-of-n"}
+
 // String implements FusionPolicy.
 func (p WeightedKOfN) String() string {
 	if p.K <= 0 {
 		return "weighted-majority"
+	}
+	if p.K < len(weightedNames) {
+		return weightedNames[p.K]
 	}
 	return fmt.Sprintf("weighted-%d-of-n", p.K)
 }

@@ -47,43 +47,48 @@ type Metrics struct {
 
 // Metrics snapshots the engine's counters and per-link state.
 func (e *Engine) Metrics() Metrics {
+	var m Metrics
+	e.MetricsInto(&m)
+	return m
+}
+
+// MetricsInto is Metrics reusing the caller's struct — in particular its
+// PerLink slice — so a steady-state report loop polls the engine without
+// allocating. Per-link state is read from the links' lock-free published
+// snapshots: a Metrics poll never blocks a scoring shard.
+func (e *Engine) MetricsInto(m *Metrics) {
+	perLink := m.PerLink[:0]
+	var snap linkSnap
 	e.mu.Lock()
-	links := append([]*link(nil), e.links...)
 	active := time.Duration(e.runNanos.Load())
 	if e.running {
 		active += time.Since(e.runStart)
 	}
-	e.mu.Unlock()
-
-	m := Metrics{
-		Links:         len(links),
-		WindowsScored: e.windowsScored.Load(),
-		FramesSeen:    e.framesSeen.Load(),
-		PerLink:       make([]LinkMetrics, 0, len(links)),
-	}
+	m.Links = len(e.links)
+	m.WindowsScored = e.windowsScored.Load()
+	m.FramesSeen = e.framesSeen.Load()
+	m.ScoresPerSec = 0
 	if secs := active.Seconds(); secs > 0 {
 		m.ScoresPerSec = float64(m.WindowsScored) / secs
 	}
-	for _, l := range links {
-		l.mu.Lock()
+	for _, l := range e.links {
+		l.state.load(&snap)
 		lm := LinkMetrics{
 			ID:            l.id,
-			Calibrated:    l.det != nil,
-			MeanMu:        l.meanMu,
-			WindowsScored: l.windows,
-			LastScore:     l.last.Score,
-			Present:       l.last.Present,
-			Adaptive:      l.adapter != nil,
-			Health:        l.health,
+			Calibrated:    snap.Calibrated,
+			MeanMu:        snap.MeanMu,
+			Threshold:     snap.Threshold,
+			WindowsScored: snap.Windows,
+			LastScore:     snap.Last.Score,
+			Present:       snap.Last.Present,
+			Adaptive:      snap.Adaptive,
+			Health:        snap.Health,
 		}
-		if l.det != nil {
-			lm.Threshold = l.det.Threshold()
+		if snap.Windows > 0 {
+			lm.MeanScore = snap.ScoreSum / float64(snap.Windows)
 		}
-		if l.windows > 0 {
-			lm.MeanScore = l.scoreSum / float64(l.windows)
-		}
-		l.mu.Unlock()
-		m.PerLink = append(m.PerLink, lm)
+		perLink = append(perLink, lm)
 	}
-	return m
+	e.mu.Unlock()
+	m.PerLink = perLink
 }

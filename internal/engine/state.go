@@ -1,0 +1,99 @@
+package engine
+
+import (
+	"math"
+	"sync/atomic"
+
+	"mlink/internal/adapt"
+	"mlink/internal/core"
+)
+
+// linkSnap is one consistent snapshot of a link's monitoring state, read by
+// Verdict and Metrics without touching any lock the scorers hold.
+type linkSnap struct {
+	Calibrated bool
+	Adaptive   bool
+	MeanMu     float64
+	Threshold  float64
+	Windows    uint64
+	ScoreSum   float64
+	Last       core.Decision
+	Health     adapt.Health
+}
+
+// linkState atomically publishes linkSnap values through a sequence lock
+// built entirely from atomics: the writer (the link's owning shard during
+// Run, or the calibration worker) bumps seq to odd, stores every field, and
+// bumps it back to even; readers retry until a whole read straddles one even
+// sequence. Every access is an atomic operation, so the construction is
+// race-free without a mutex, publication allocates nothing, and however many
+// readers poll, the single writer never waits — the property the metrics
+// path needs so that Verdict/Metrics cannot stall the scoring loop.
+type linkState struct {
+	seq        atomic.Uint64
+	calibrated atomic.Bool
+	adaptive   atomic.Bool
+	meanMu     atomic.Uint64
+	threshold  atomic.Uint64 // current decision threshold
+	decThr     atomic.Uint64 // threshold the last decision was made against
+	windows    atomic.Uint64
+	scoreSum   atomic.Uint64
+	score      atomic.Uint64
+	present    atomic.Bool
+	health     adapt.AtomicHealth // guarded by seq like every other field
+}
+
+// publishCalibration records a (re)calibration: quality weight, starting
+// threshold and adapter health, leaving the scoring counters intact.
+func (st *linkState) publishCalibration(meanMu, threshold float64, adaptive bool, h adapt.Health) {
+	st.seq.Add(1)
+	st.calibrated.Store(true)
+	st.adaptive.Store(adaptive)
+	st.meanMu.Store(math.Float64bits(meanMu))
+	st.threshold.Store(math.Float64bits(threshold))
+	st.health.Store(h)
+	st.seq.Add(1)
+}
+
+// publishDecision folds one scored window into the published state.
+// threshold is the link's current decision threshold (post-adaptation).
+func (st *linkState) publishDecision(dec core.Decision, threshold float64, h adapt.Health) {
+	st.seq.Add(1)
+	st.windows.Store(st.windows.Load() + 1)
+	st.scoreSum.Store(math.Float64bits(math.Float64frombits(st.scoreSum.Load()) + dec.Score))
+	st.score.Store(math.Float64bits(dec.Score))
+	st.present.Store(dec.Present)
+	st.decThr.Store(math.Float64bits(dec.Threshold))
+	st.threshold.Store(math.Float64bits(threshold))
+	st.health.Store(h)
+	st.seq.Add(1)
+}
+
+// load spins until it reads one consistent snapshot. With a healthy writer
+// the loop runs once or twice; writers publish in a handful of atomic
+// stores, so there is no unbounded window to wait out.
+func (st *linkState) load(dst *linkSnap) {
+	for {
+		s := st.seq.Load()
+		if s&1 != 0 {
+			continue
+		}
+		*dst = linkSnap{
+			Calibrated: st.calibrated.Load(),
+			Adaptive:   st.adaptive.Load(),
+			MeanMu:     math.Float64frombits(st.meanMu.Load()),
+			Threshold:  math.Float64frombits(st.threshold.Load()),
+			Windows:    st.windows.Load(),
+			ScoreSum:   math.Float64frombits(st.scoreSum.Load()),
+			Last: core.Decision{
+				Present:   st.present.Load(),
+				Score:     math.Float64frombits(st.score.Load()),
+				Threshold: math.Float64frombits(st.decThr.Load()),
+			},
+			Health: st.health.Load(),
+		}
+		if st.seq.Load() == s {
+			return
+		}
+	}
+}

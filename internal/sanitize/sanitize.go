@@ -57,9 +57,14 @@ func Frame(f *csi.Frame, idx []int) (*csi.Frame, error) {
 	}
 
 	out := f.Clone()
+	// One rotor row serves every antenna: the fitted trend is common-mode.
+	rot := make([]complex128, nSub)
+	for k := range rot {
+		rot[k] = rotor(-(fit.Slope*xs[k] + fit.Intercept))
+	}
 	for ant := range out.CSI {
 		for k := range out.CSI[ant] {
-			out.CSI[ant][k] *= rotor(-(fit.Slope*xs[k] + fit.Intercept))
+			out.CSI[ant][k] *= rot[k]
 		}
 	}
 	return out, nil

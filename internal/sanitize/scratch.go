@@ -15,6 +15,7 @@ type Scratch struct {
 	xs   []float64
 	ph   []float64
 	mean []float64
+	rot  []complex128
 	out  []*csi.Frame
 }
 
@@ -82,9 +83,18 @@ func (sc *Scratch) frame(dst **csi.Frame, f *csi.Frame, idx []int) error {
 	out.Seq = f.Seq
 	out.TimestampMicros = f.TimestampMicros
 	out.RSSI = append(out.RSSI[:0], f.RSSI...)
+	// The correction rotor depends only on the subcarrier, not the antenna:
+	// build the row once and apply it to every chain (Sincos is the hot op).
+	if cap(sc.rot) < nSub {
+		sc.rot = make([]complex128, nSub)
+	}
+	sc.rot = sc.rot[:nSub]
+	for k := 0; k < nSub; k++ {
+		sc.rot[k] = rotor(-(fit.Slope*sc.xs[k] + fit.Intercept))
+	}
 	for ant := 0; ant < nAnt; ant++ {
 		for k, v := range f.CSI[ant] {
-			out.CSI[ant][k] = v * rotor(-(fit.Slope*sc.xs[k] + fit.Intercept))
+			out.CSI[ant][k] = v * sc.rot[k]
 		}
 	}
 	return nil

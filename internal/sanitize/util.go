@@ -1,14 +1,17 @@
 package sanitize
 
 import (
-	"math"
-	"math/cmplx"
+	"mlink/internal/dsp"
 )
 
-// phase returns the argument of v in radians.
-func phase(v complex128) float64 { return cmplx.Phase(v) }
+// phase returns the argument of v in radians. It runs once per subcarrier
+// per antenna per packet, so it uses the table-backed approximation
+// (error < 1e-10 rad — see dsp.Atan2Fast — versus ~1e-2 rad of impairment
+// phase noise in the CSI itself).
+func phase(v complex128) float64 { return dsp.Atan2Fast(imag(v), real(v)) }
 
-// rotor returns e^{jφ}.
+// rotor returns e^{jφ}, through the table-backed sincos (error < 2e-9).
 func rotor(phi float64) complex128 {
-	return complex(math.Cos(phi), math.Sin(phi))
+	sin, cos := dsp.SincosFast(phi)
+	return complex(cos, sin)
 }
