@@ -185,12 +185,26 @@ var runners = map[string]runner{
 		}
 		return b.String(), nil
 	},
+	// fleet is the cross-link disambiguation experiment: frozen vs
+	// per-link-adaptive vs fleet-coordinated sites on one correlated
+	// ambient-drift stream, with a single-link person tail.
+	"fleet": func(seed int64, full bool) (string, error) {
+		cfg := experiments.FleetDriftConfig{Seed: seed}
+		if !full {
+			cfg.MonitorMultiple = 6
+		}
+		r, err := experiments.RunFleetDrift(cfg)
+		if err != nil {
+			return "", err
+		}
+		return r.Render(), nil
+	},
 }
 
 // order fixes the rendering sequence for -run all.
 var order = []string{
 	"fig2a", "fig2b", "fig3a", "fig3bc", "fig4", "fig5b", "fig5c",
-	"fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "drift",
+	"fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "drift", "fleet",
 }
 
 var (

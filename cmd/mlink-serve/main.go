@@ -6,13 +6,19 @@
 //
 // Online adaptation and environment drift are first-class: -adapt enables
 // per-link profile refresh / threshold re-derivation / drift quarantine,
-// and -drift injects a drift preset (gain walk, CFO walk, furniture move)
-// into every link so the adaptation can be watched working.
+// and -drift injects a drift preset (gain walk, CFO walk, furniture move,
+// correlated ambient event) into every link so the adaptation can be
+// watched working. -fleet layers the cross-link coordinator on top
+// (ambient-drift disambiguation, automatic quarantine clearing, staggered
+// online recalibration), and -profiles makes the adapted baselines durable
+// across daemon restarts.
 //
 // Usage:
 //
 //	mlink-serve -links 5 -scheme subcarrier -workers 4 -windows 8 -occupied 3
 //	mlink-serve -links 3 -adapt -drift gain -drift-rate 12 -windows 40 -fusion weighted
+//	mlink-serve -links 5 -fleet -drift ambient -drift-rate 2 -drift-step 900 -windows 60
+//	mlink-serve -links 5 -fleet -profiles /var/lib/mlink/profiles -windows 0
 package main
 
 import (
@@ -72,8 +78,13 @@ func driftOf(name string, gainRate float64, stepAt int) (mlink.DriftPreset, bool
 		return mlink.CFOWalkDrift(60, 0.05), true, nil
 	case "furniture":
 		return mlink.FurnitureMoveDrift(stepAt), true, nil
+	case "ambient":
+		// The correlated site-wide event: every link gets the same walk
+		// plus a 6 dB AGC re-lock step — the scenario -fleet disambiguates
+		// from a person.
+		return mlink.AmbientSiteDrift(gainRate, 6, stepAt), true, nil
 	default:
-		return mlink.DriftPreset{}, false, fmt.Errorf("unknown drift %q (none|gain|cfo|furniture)", name)
+		return mlink.DriftPreset{}, false, fmt.Errorf("unknown drift %q (none|gain|cfo|furniture|ambient)", name)
 	}
 }
 
@@ -90,9 +101,11 @@ func run() error {
 		k          = flag.Int("k", 1, "K for k-of-n fusion (0 = majority)")
 		seed       = flag.Int64("seed", 1, "base simulation seed")
 		adaptOn    = flag.Bool("adapt", false, "enable per-link online adaptation (profile refresh, threshold re-derivation, drift quarantine)")
-		driftName  = flag.String("drift", "none", "environment drift preset applied to every link: none|gain|cfo|furniture")
-		driftRate  = flag.Float64("drift-rate", 12, "gain-walk slope in dB/min (for -drift gain)")
-		driftStep  = flag.Int("drift-step", 600, "furniture-move packet (for -drift furniture)")
+		fleetOn    = flag.Bool("fleet", false, "enable cross-link fleet coordination (ambient-drift disambiguation, auto quarantine clearing, staggered online recalibration); implies -adapt")
+		profiles   = flag.String("profiles", "", "profile snapshot directory: restore adapted link baselines at startup and persist them at shutdown")
+		driftName  = flag.String("drift", "none", "environment drift preset applied to every link: none|gain|cfo|furniture|ambient")
+		driftRate  = flag.Float64("drift-rate", 12, "gain-walk slope in dB/min (for -drift gain|ambient)")
+		driftStep  = flag.Int("drift-step", 600, "furniture-move / ambient-step packet (for -drift furniture|ambient)")
 		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060) for live CPU/heap profiles")
 	)
 	flag.Parse()
@@ -123,10 +136,11 @@ func run() error {
 	}
 
 	var (
-		printMu sync.Mutex
-		decided int
-		verdict mlink.SiteVerdict // reused across report ticks (VerdictInto)
-		eng     *mlink.Engine
+		printMu    sync.Mutex
+		decided    int
+		verdict    mlink.SiteVerdict // reused across report ticks (VerdictInto)
+		eng        *mlink.Engine
+		fleetState mlink.FleetState
 	)
 	eng = mlink.NewEngine(mlink.EngineConfig{
 		Workers:    *workers,
@@ -146,12 +160,22 @@ func run() error {
 					fmt.Printf("  site [%s] present=%v score=%.3f (%d/%d links positive)\n",
 						verdict.Policy, verdict.Present, verdict.Score, verdict.Positive, verdict.Total)
 				}
+				if rep, ok := eng.FleetReport(); ok && rep.State != 0 && rep.State != fleetState {
+					fleetState = rep.State
+					fmt.Printf("  fleet state -> %s (drifting %d, jumped %d, quarantined %d; relocks %d, recals %d)\n",
+						rep.State, rep.Drifting, rep.Jumped, rep.Quarantined, rep.Relocks, rep.RecalsDispatched)
+				}
 			}
 		},
 	})
 
-	if *adaptOn {
+	if *adaptOn || *fleetOn {
 		if err := eng.EnableAdaptation(); err != nil {
+			return err
+		}
+	}
+	if *fleetOn {
+		if err := eng.EnableFleet(); err != nil {
 			return err
 		}
 	}
@@ -178,12 +202,23 @@ func run() error {
 		}
 	}
 
-	fmt.Printf("calibrating %d links (%d packets each, scheme %s)...\n", *nLinks, *calN, scheme)
 	start := time.Now()
-	if err := eng.Calibrate(*calN); err != nil {
-		return err
+	restored := 0
+	if *profiles != "" {
+		ids, err := eng.LoadProfiles(*profiles)
+		if err != nil {
+			return err
+		}
+		restored = len(ids)
+		fmt.Printf("restored %d/%d link baselines from %s\n", restored, *nLinks, *profiles)
 	}
-	fmt.Printf("calibrated in %v\n", time.Since(start).Round(time.Millisecond))
+	if restored < *nLinks {
+		fmt.Printf("calibrating %d links (%d packets each, scheme %s)...\n", *nLinks-restored, *calN, scheme)
+		if err := eng.CalibrateMissing(*calN); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("fleet ready in %v\n", time.Since(start).Round(time.Millisecond))
 	var m mlink.EngineMetrics // reused across polls (MetricsInto)
 	eng.MetricsInto(&m)
 	for _, lm := range m.PerLink {
@@ -199,12 +234,17 @@ func run() error {
 	eng.MetricsInto(&m)
 	fmt.Printf("\nscored %d windows (%d frames) at %.1f windows/s across %d links\n",
 		m.WindowsScored, m.FramesSeen, m.ScoresPerSec, m.Links)
-	if *adaptOn {
+	if *adaptOn || *fleetOn {
 		for _, lm := range m.PerLink {
 			h := lm.Health
-			fmt.Printf("  link %-10s health %-11s  z %6.1f  shift %5.2f dB  refreshes %3d  thr %7.4f  recal-needed %v\n",
-				lm.ID, h.State, h.DriftZ, h.ProfileShiftDB, h.Refreshes, lm.Threshold, h.NeedsRecalibration)
+			fmt.Printf("  link %-10s health %-11s  z %6.1f  shift %5.2f dB  refreshes %3d  relocks %d  thr %7.4f  recal-needed %v\n",
+				lm.ID, h.State, h.DriftZ, h.ProfileShiftDB, h.Refreshes, h.Relocks, lm.Threshold, h.NeedsRecalibration)
 		}
+	}
+	if rep, ok := eng.FleetReport(); ok {
+		fmt.Printf("fleet classification: %s (links %d, drifting %d, jumped %d, quarantined %d, walking %d; relocks %d, recals dispatched %d, quarantines cleared %d)\n",
+			rep.State, rep.Links, rep.Drifting, rep.Jumped, rep.Quarantined, rep.Walking,
+			rep.Relocks, rep.RecalsDispatched, rep.QuarantinesCleared)
 	}
 	v, err := eng.Verdict()
 	if err != nil {
@@ -212,5 +252,12 @@ func run() error {
 	}
 	fmt.Printf("final site verdict [%s]: present=%v score=%.3f (%d/%d links positive)\n",
 		v.Policy, v.Present, v.Score, v.Positive, v.Total)
+	if *profiles != "" {
+		ids, err := eng.SaveProfiles(*profiles)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("persisted %d link baselines to %s\n", len(ids), *profiles)
+	}
 	return nil
 }

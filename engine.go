@@ -2,12 +2,16 @@ package mlink
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"mlink/internal/adapt"
 	"mlink/internal/body"
 	"mlink/internal/csi"
 	"mlink/internal/engine"
+	"mlink/internal/fleet"
 	"mlink/internal/scenario"
 )
 
@@ -41,6 +45,20 @@ type (
 	HealthState = adapt.State
 	// DriftPreset parameterizes a first-class environment-drift scenario.
 	DriftPreset = scenario.DriftPreset
+	// FleetConfig parameterizes the cross-link drift coordinator.
+	FleetConfig = fleet.Config
+	// FleetState classifies the site's cross-link drift evidence.
+	FleetState = fleet.State
+	// FleetReport is one coordination tick's classification and counters.
+	FleetReport = fleet.Report
+)
+
+// Re-exported fleet classifications.
+const (
+	FleetQuiet      = fleet.StateQuiet
+	FleetLocalized  = fleet.StateLocalized
+	FleetAmbient    = fleet.StateAmbient
+	FleetStepChange = fleet.StateStepChange
 )
 
 // Re-exported adaptation health states.
@@ -61,6 +79,9 @@ var (
 	CFOWalkDrift = scenario.CFOWalk
 	// FurnitureMoveDrift is a step change at the given packet.
 	FurnitureMoveDrift = scenario.FurnitureMove
+	// AmbientSiteDrift is the correlated site-wide preset (gain walk + AGC
+	// re-lock step); apply the same preset to every link of a site.
+	AmbientSiteDrift = scenario.AmbientDrift
 )
 
 // EngineConfig parameterizes a multi-link Engine.
@@ -88,6 +109,17 @@ type Engine struct {
 	eng      *engine.Engine
 	sources  []phasedSwitch
 	sourceBy map[string]phasedSwitch
+
+	// Fleet coordination state: the coordinator observes one fused verdict
+	// per round of link decisions, driven from the engine's OnDecision
+	// callback (shard goroutines — hence the mutex). fleetOn gates the
+	// whole path with one atomic load so non-fleet engines keep their
+	// decision callbacks uncontended.
+	fleetOn      atomic.Bool
+	fleetMu      sync.Mutex
+	coord        *fleet.Coordinator
+	fleetTicks   int
+	fleetVerdict SiteVerdict
 }
 
 // phasedSwitch is a source whose occupancy activates once calibration ends.
@@ -95,16 +127,119 @@ type phasedSwitch interface{ setMonitoring(bool) }
 
 // NewEngine builds an empty fleet engine.
 func NewEngine(cfg EngineConfig) *Engine {
-	return &Engine{
-		eng: engine.New(engine.Config{
-			Workers:    cfg.Workers,
-			WindowSize: cfg.WindowSize,
-			Fusion:     cfg.Fusion,
-			Adaptation: cfg.Adaptation,
-			OnDecision: cfg.OnDecision,
-		}),
-		sourceBy: make(map[string]phasedSwitch),
+	e := &Engine{sourceBy: make(map[string]phasedSwitch)}
+	userCb := cfg.OnDecision
+	e.eng = engine.New(engine.Config{
+		Workers:    cfg.Workers,
+		WindowSize: cfg.WindowSize,
+		Fusion:     cfg.Fusion,
+		Adaptation: cfg.Adaptation,
+		OnDecision: func(linkID string, d Decision) {
+			if userCb != nil {
+				userCb(linkID, d)
+			}
+			e.fleetObserve()
+		},
+	})
+	return e
+}
+
+// EnableFleet turns on cross-link drift coordination: each fused round the
+// coordinator classifies the site (quiet / localized / ambient-drift /
+// step-change) and drives per-link suppression, baseline relocks and
+// staggered online recalibrations through the engine. Requires adaptation
+// (EnableAdaptation) for the per-link controls to have anything to act on;
+// call before Run. With no argument the default fleet configuration is used.
+func (e *Engine) EnableFleet(config ...FleetConfig) error {
+	cfg := FleetConfig{}
+	if len(config) > 0 {
+		cfg = config[0]
 	}
+	e.fleetMu.Lock()
+	defer e.fleetMu.Unlock()
+	e.coord = fleet.New(cfg, e.eng)
+	e.fleetOn.Store(true)
+	return nil
+}
+
+// FleetReport returns the fleet coordinator's latest classification and
+// action counters; ok is false when EnableFleet was never called.
+func (e *Engine) FleetReport() (FleetReport, bool) {
+	e.fleetMu.Lock()
+	coord := e.coord
+	e.fleetMu.Unlock()
+	if coord == nil {
+		return FleetReport{}, false
+	}
+	return coord.Report(), true
+}
+
+// fleetObserve gives the coordinator one observation per fused round.
+func (e *Engine) fleetObserve() {
+	if !e.fleetOn.Load() {
+		return
+	}
+	e.fleetMu.Lock()
+	defer e.fleetMu.Unlock()
+	if e.coord == nil || len(e.sources) == 0 {
+		return
+	}
+	e.fleetTicks++
+	if e.fleetTicks%len(e.sources) != 0 {
+		return
+	}
+	// ErrAllQuarantined is not a reason to skip: the per-link decisions
+	// (with their health evidence) are fully populated even when fusion
+	// refuses to produce a site verdict, and a whole-fleet quarantine is
+	// precisely the state the coordinator exists to recover from.
+	if err := e.eng.VerdictInto(&e.fleetVerdict); err != nil && !errors.Is(err, engine.ErrAllQuarantined) {
+		return
+	}
+	e.coord.Observe(&e.fleetVerdict)
+}
+
+// SaveProfiles snapshots every calibrated link's adapted state (profile
+// fingerprints, threshold, drift history) into dir — one versioned record
+// per link — and returns the IDs written. Call it with the engine stopped; a
+// later LoadProfiles on a freshly built engine resumes from the walked
+// baselines instead of recalibrating.
+func (e *Engine) SaveProfiles(dir string) ([]string, error) {
+	saved, err := fleet.Store{Dir: dir}.Save(e.eng)
+	if err != nil {
+		return saved, fmt.Errorf("mlink save profiles: %w", err)
+	}
+	return saved, nil
+}
+
+// LoadProfiles restores every registered link that has a record in dir and
+// returns the restored IDs. Restored links need no calibration — follow with
+// CalibrateMissing to capture baselines for just the links that had no
+// record. Restored simulated links switch straight to their monitoring
+// occupancy.
+func (e *Engine) LoadProfiles(dir string) ([]string, error) {
+	restored, err := fleet.Store{Dir: dir}.Load(e.eng)
+	if err != nil {
+		return restored, fmt.Errorf("mlink load profiles: %w", err)
+	}
+	for _, id := range restored {
+		if src, ok := e.sourceBy[id]; ok {
+			src.setMonitoring(true)
+		}
+	}
+	return restored, nil
+}
+
+// CalibrateMissing calibrates only the links that are not calibrated yet —
+// the companion of LoadProfiles for mixed fleets — then switches every
+// link's people in for monitoring. A no-op when nothing is missing.
+func (e *Engine) CalibrateMissing(n int) error {
+	if err := e.eng.CalibrateMissing(context.Background(), n); err != nil {
+		return fmt.Errorf("mlink calibrate: %w", err)
+	}
+	for _, src := range e.sources {
+		src.setMonitoring(true)
+	}
+	return nil
 }
 
 // EnableAdaptation turns on per-link online adaptation (profile refresh,
@@ -128,15 +263,18 @@ func (e *Engine) EnableAdaptation(policy ...AdaptationPolicy) error {
 // pool and written via the allocation-free CaptureInto path; the engine
 // recycles them after scoring.
 type phasedSource struct {
-	sys        *System
-	bodies     []body.Body
-	monitoring bool
+	sys    *System
+	bodies []body.Body
+	// monitoring is atomic because Recalibrate may flip occupancy from the
+	// caller's goroutine while the owning shard is mid-Next (online
+	// recalibration during Run).
+	monitoring atomic.Bool
 	pool       *csi.FramePool
 }
 
 func (s *phasedSource) Next() (*Frame, error) {
 	bodies := s.bodies
-	if !s.monitoring {
+	if !s.monitoring.Load() {
 		bodies = nil
 	}
 	f := s.pool.Get()
@@ -150,17 +288,17 @@ func (s *phasedSource) Next() (*Frame, error) {
 // Recycle implements engine.FrameRecycler.
 func (s *phasedSource) Recycle(f *Frame) { s.pool.Put(f) }
 
-func (s *phasedSource) setMonitoring(on bool) { s.monitoring = on }
+func (s *phasedSource) setMonitoring(on bool) { s.monitoring.Store(on) }
 
 // phasedDriftSource is phasedSource over a drifting capture stream.
 type phasedDriftSource struct {
 	stream     *scenario.DriftStream
 	bodies     []body.Body
-	monitoring bool
+	monitoring atomic.Bool
 }
 
 func (s *phasedDriftSource) Next() (*Frame, error) {
-	if s.monitoring {
+	if s.monitoring.Load() {
 		s.stream.SetBodies(s.bodies)
 	} else {
 		s.stream.SetBodies(nil)
@@ -171,7 +309,7 @@ func (s *phasedDriftSource) Next() (*Frame, error) {
 // Recycle implements engine.FrameRecycler.
 func (s *phasedDriftSource) Recycle(f *Frame) { s.stream.Recycle(f) }
 
-func (s *phasedDriftSource) setMonitoring(on bool) { s.monitoring = on }
+func (s *phasedDriftSource) setMonitoring(on bool) { s.monitoring.Store(on) }
 
 // AddLink adopts a System as one monitored link under a unique ID. The
 // engine owns the system's extractor from here on — don't keep capturing
@@ -242,6 +380,12 @@ func (e *Engine) Calibrate(n int) error {
 // for simulated links the source is switched back to its calibration phase
 // (people leave) for the duration, exactly as during Calibrate, and
 // re-enters monitoring afterwards.
+//
+// While Run is active the rebuild happens online, on the shard that owns the
+// link: sibling links keep scoring throughout, and the call blocks until the
+// link's fresh baseline is in place. (A window or two captured before the
+// shard picks the request up may still score with people present — they
+// read as ordinary occupied windows, never as calibration data.)
 func (e *Engine) Recalibrate(linkID string, n int) error {
 	if src, ok := e.sourceBy[linkID]; ok {
 		src.setMonitoring(false)

@@ -1,21 +1,26 @@
-// Office-monitor: the distributed deployment end to end, in one process. A
-// csinet server emulates the receiver NIC of office link case 4 and streams
-// CSI over TCP; a collector client calibrates and watches windows while a
-// scripted person enters and leaves the room.
+// Office-monitor: a three-link office site run end to end with fleet
+// coordination. Every link shares one ambient event — a slow receiver gain
+// walk plus a 6 dB AGC re-lock step mid-run — which per-link adaptation
+// alone would misread as three separate intrusions and quarantine away. The
+// fleet coordinator sees the correlated evidence, classifies it as
+// ambient drift, relocks the baselines and schedules staggered online
+// recalibrations; when a real person then walks onto one link, the site
+// still alarms and the coordinator classifies the perturbation as
+// localized — never as a reason to recalibrate. The adapted baselines are
+// persisted at the end, the way a daemon restart would resume them.
 package main
 
 import (
 	"context"
 	"fmt"
 	"log"
-	"math/rand"
-	"time"
+	"os"
 
+	"mlink/internal/adapt"
 	"mlink/internal/body"
-	"mlink/internal/channel"
 	"mlink/internal/core"
-	"mlink/internal/csi"
-	"mlink/internal/csinet"
+	"mlink/internal/engine"
+	"mlink/internal/fleet"
 	"mlink/internal/scenario"
 )
 
@@ -26,117 +31,118 @@ func main() {
 }
 
 func run() error {
-	s, err := scenario.LinkCase(4, 7)
-	if err != nil {
-		return err
-	}
-
-	// --- Server side: emulated NIC daemon -----------------------------
-	indices := make([]int16, s.Grid.Len())
-	for i, idx := range s.Grid.Indices {
-		indices[i] = int16(idx)
-	}
-	hello := csinet.Hello{
-		CenterFreqHz:   s.Grid.Center,
-		NumAntennas:    3,
-		NumSubcarriers: uint8(s.Grid.Len()),
-		Indices:        indices,
-	}
-	// Scripted occupancy: empty during calibration, then a person walks to
-	// the middle of the link, lingers, and leaves.
 	const (
-		calPackets   = 250
-		enterAt      = 400
-		leaveAt      = 650
-		totalPackets = 900
+		calPackets = 300
+		window     = 25
+		seed       = 7
 	)
-	target := body.Default(s.LinkMidpoint())
-	factory := func() csinet.Source {
-		x, err := s.NewExtractor(42)
-		if err != nil {
-			return csinet.SourceFunc(func() (*csi.Frame, error) { return nil, err })
-		}
-		rng := rand.New(rand.NewSource(99))
-		bg, err := scenario.NewBackground(3, scenario.DefaultAnchors(s), rng)
-		if err != nil {
-			return csinet.SourceFunc(func() (*csi.Frame, error) { return nil, err })
-		}
-		n := 0
-		return csinet.SourceFunc(func() (*csi.Frame, error) {
-			bodies := bg.Step()
-			if n >= enterAt && n < leaveAt {
-				bodies = append(bodies, target)
+	// One correlated event for the whole site: 2 dB/min thermal walk, and
+	// the receiver re-locks its gain +6 dB at packet 1100 (monitoring
+	// window 20 after the 600-packet calibration).
+	preset := scenario.AmbientDrift(2, 6, 1100)
+
+	var (
+		eng     *engine.Engine
+		coord   *fleet.Coordinator
+		verdict engine.SiteVerdict
+		decided int
+		last    fleet.State
+	)
+	pol := adapt.Policy{} // package defaults
+	eng = engine.New(engine.Config{
+		Workers:         1,
+		WindowSize:      window,
+		ThresholdMargin: 2.5,
+		Fusion:          engine.KOfN{K: 1},
+		Adaptation:      &pol,
+		OnDecision: func(id string, d core.Decision) {
+			decided++
+			if decided%3 != 0 {
+				return
 			}
-			n++
-			return x.Capture(bodies), nil
-		})
-	}
-	srv, err := csinet.NewServer("127.0.0.1:0", hello, factory)
-	if err != nil {
-		return err
-	}
-	defer srv.Close()
-	go srv.Serve(context.Background()) //nolint:errcheck — ends on Close
+			if err := eng.VerdictInto(&verdict); err != nil {
+				return
+			}
+			rep := coord.Observe(&verdict)
+			mark := "     "
+			if verdict.Present {
+				mark = "ALARM"
+			}
+			fmt.Printf("round %3d  %s  site score %.2f (%d/%d links positive)\n",
+				decided/3, mark, verdict.Score, verdict.Positive, verdict.Total)
+			if rep.State != last {
+				last = rep.State
+				fmt.Printf("           fleet -> %s (drifting %d, jumped %d, quarantined %d; relocks %d, recals %d)\n",
+					rep.State, rep.Drifting, rep.Jumped, rep.Quarantined, rep.Relocks, rep.RecalsDispatched)
+			}
+		},
+	})
+	coord = fleet.New(fleet.Config{}, eng)
 
-	// --- Client side: collector + detector ----------------------------
-	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
-	defer cancel()
-	client, err := csinet.Dial(ctx, srv.Addr().String())
-	if err != nil {
-		return err
-	}
-	defer client.Close()
-
-	grid, err := channel.NewIntel5300Grid(client.Hello().CenterFreqHz)
-	if err != nil {
-		return err
-	}
-	cfg := core.DefaultConfig(grid, core.SchemeSubcarrierPath, s.Env.RX.Offsets())
-
-	fmt.Printf("monitoring %s over %s\n", s.Name, srv.Addr())
-	cal, err := client.RecvN(calPackets)
-	if err != nil {
-		return err
-	}
-	profile, err := core.Calibrate(cfg, cal[:150])
-	if err != nil {
-		return err
-	}
-	det, err := core.NewDetector(cfg, profile)
-	if err != nil {
-		return err
-	}
-	null, err := det.SelfScores(cal[150:], 25, 25)
-	if err != nil {
-		return err
-	}
-	threshold, err := det.CalibrateThreshold(null, 0.95, 1.8)
-	if err != nil {
-		return err
-	}
-	fmt.Printf("calibrated threshold %.4f; person enters at packet %d, leaves at %d\n",
-		threshold, enterAt, leaveAt)
-
-	const window = 25
-	for start := calPackets; start+window <= totalPackets; start += window {
-		frames, err := client.RecvN(window)
+	streams := make([]*scenario.DriftStream, 0, 3)
+	var personBody body.Body
+	for i, caseN := range []int{2, 3, 4} {
+		s, err := scenario.LinkCase(caseN, seed+int64(i))
 		if err != nil {
 			return err
 		}
-		dec, err := det.Detect(frames)
+		stream, err := s.NewDriftStream(preset, 1)
 		if err != nil {
 			return err
 		}
-		status := "clear  "
-		if dec.Present {
-			status = "PRESENT"
+		id := fmt.Sprintf("office-%d", i+1)
+		if err := eng.AddLink(id, core.DefaultConfig(s.Grid, core.SchemeSubcarrier, s.Env.RX.Offsets()), stream); err != nil {
+			return err
 		}
-		truth := "empty"
-		if start >= enterAt && start < leaveAt {
-			truth = "occupied"
+		streams = append(streams, stream)
+		if i == 1 {
+			personBody = body.Default(s.LinkMidpoint())
 		}
-		fmt.Printf("packets %4d-%4d  [%s]  score %7.4f  (truth: %s)\n",
-			start, start+window-1, status, dec.Score, truth)
 	}
+
+	ctx := context.Background()
+	fmt.Println("calibrating 3 office links (empty room)...")
+	if err := eng.Calibrate(ctx, calPackets); err != nil {
+		return err
+	}
+
+	fmt.Println("\n-- empty office; the site-wide gain event lands at window 20 --")
+	if err := eng.Run(ctx, 48); err != nil {
+		return err
+	}
+
+	fmt.Println("\n-- a person walks onto link office-2 --")
+	streams[1].SetBodies([]body.Body{personBody})
+	if err := eng.Run(ctx, 6); err != nil {
+		return err
+	}
+
+	fmt.Println("\n-- the person leaves --")
+	streams[1].SetBodies(nil)
+	if err := eng.Run(ctx, 6); err != nil {
+		return err
+	}
+
+	rep := coord.Report()
+	fmt.Printf("\nfleet summary: state %s, relocks %d, recals dispatched %d, quarantines cleared %d\n",
+		rep.State, rep.Relocks, rep.RecalsDispatched, rep.QuarantinesCleared)
+	for _, lm := range eng.Metrics().PerLink {
+		h := lm.Health
+		fmt.Printf("  %s health %-9s thr %.3f shift %.2f dB refreshes %d recal-needed %v\n",
+			lm.ID, h.State, lm.Threshold, h.ProfileShiftDB, h.Refreshes, h.NeedsRecalibration)
+	}
+
+	// Persist the adapted baselines exactly as a daemon shutdown would; a
+	// restart Loads them back and resumes without recalibrating.
+	dir, err := os.MkdirTemp("", "office-profiles-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	saved, err := fleet.Store{Dir: dir}.Save(eng)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("persisted %d adapted baselines (restart recipe: fleet.Store.Load, then Engine.CalibrateMissing)\n", len(saved))
 	return nil
 }

@@ -1,3 +1,3 @@
 module mlink
 
-go 1.21
+go 1.24

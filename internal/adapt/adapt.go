@@ -48,25 +48,51 @@ func (s State) String() string {
 }
 
 // Health is a link's adaptation status snapshot, surfaced per link in the
-// engine's verdicts and metrics.
+// engine's verdicts and metrics. Beyond the classified State it carries the
+// structured drift evidence — signed deviations, the step-vs-walk
+// discriminator, and the profile-walk trend — that the fleet coordination
+// layer fuses across links to tell a person (few links perturbed) from
+// ambient drift (many links moving together).
 type Health struct {
 	// State classifies the link.
 	State State
 	// DriftZ is the current windowed score-statistics z value (0 until the
-	// drift monitor has enough samples).
+	// drift monitor has enough samples). Its sign is the drift direction:
+	// positive means the link scores above its adapted baseline.
 	DriftZ float64
+	// ScoreZ is the latest single window's standardized deviation — the
+	// fast, low-lag evidence signal (a step change shows here windows
+	// before the rolling DriftZ catches up).
+	ScoreZ float64
+	// JumpExceeded reports a step-like score jump in the recent history:
+	// the arrival discriminator that separates a person or moved cabinet
+	// from a creeping gain walk.
+	JumpExceeded bool
 	// ProfileShiftDB is how far the adapted profile has walked from the
 	// calibration original (mean |ΔRSS| in dB).
 	ProfileShiftDB float64
+	// ShiftRateDB is the smoothed per-window change of ProfileShiftDB — the
+	// trend of the walk. Near zero for a settled baseline, sustained
+	// positive while adaptation is actively chasing a moving environment.
+	ShiftRateDB float64
 	// Refreshes counts applied silent-window profile updates.
 	Refreshes uint64
 	// ThresholdUpdates counts online threshold re-derivations.
 	ThresholdUpdates uint64
+	// Relocks counts fleet-requested baseline relocks (full profile
+	// adoptions that cleared a quarantine).
+	Relocks uint64
 	// Threshold is the link's current decision threshold.
 	Threshold float64
 	// NeedsRecalibration is sticky once the link is quarantined; it clears
-	// only when a fresh calibration replaces the adapter.
+	// when a fresh calibration replaces the adapter, or when the fleet
+	// layer relocks the baseline after attributing the shift to ambient,
+	// site-wide drift.
 	NeedsRecalibration bool
+	// RefreshSuppressed reports that profile refreshes are currently held
+	// off by the fleet layer (a localized perturbation — likely a person —
+	// must not be absorbed into the baseline).
+	RefreshSuppressed bool
 }
 
 // Weight converts health into a fusion vote multiplier in (0, 1]: healthy
@@ -119,8 +145,13 @@ type Policy struct {
 	// exactly as in core.Detector.CalibrateThreshold (defaults 0.95, 1.3).
 	Quantile, Margin float64
 	// MinThresholdFactor floors the re-derived threshold at this fraction
-	// of the calibration-time threshold, so a long very quiet stretch
-	// cannot collapse the threshold into the noise (default 0.5).
+	// of the calibration-time threshold, so a quiet stretch cannot
+	// collapse the threshold into the noise (default 0.8). The rolling
+	// null window spans seconds while receiver gain wanders on a
+	// multi-second time constant, so the rolling q95 systematically
+	// under-samples the stationary null spread — the floor, anchored to
+	// the calibration estimate, is what keeps that bias from ratcheting
+	// the threshold down until ordinary gain wander alarms.
 	MinThresholdFactor float64
 	// Drift parameterizes the windowed score-statistics drift test. The
 	// monitor's reference is rebased onto the rolling null distribution at
@@ -150,7 +181,7 @@ func (p Policy) withDefaults() Policy {
 		p.Margin = 1.3
 	}
 	if p.MinThresholdFactor <= 0 {
-		p.MinThresholdFactor = 0.5
+		p.MinThresholdFactor = 0.8
 	}
 	return p
 }
@@ -187,9 +218,33 @@ type Adapter struct {
 	baseThr       float64   // calibration-time threshold (floor reference)
 	health        Health    // observer-owned working copy
 	sinceRederive int
+	lastShiftDB   float64 // previous ProfileShiftDB, for the trend estimate
+
+	// Fleet-layer control requests. Both are set from arbitrary goroutines
+	// (the coordinator) and consumed inside Observe by the single owner, so
+	// the observer's state stays single-writer.
+	suppress atomic.Bool // hold off profile refreshes (localized perturbation)
+	relock   atomic.Bool // one-shot: adopt the current window as the baseline
 
 	pub healthPub
 }
+
+// SetRefreshSuppressed asks the observer to hold off (or resume) profile
+// refreshes. The fleet layer raises it while it attributes a link's drift to
+// a localized perturbation — likely a person — that must not be EWMA-absorbed
+// into the baseline. Safe from any goroutine; takes effect at the next
+// Observe.
+func (a *Adapter) SetRefreshSuppressed(on bool) { a.suppress.Store(on) }
+
+// RequestRelock asks the observer to adopt the next window wholesale as the
+// new baseline: the profile is replaced with that window's statistics, the
+// drift monitor's rolling state is reset, and the quarantine (including the
+// sticky NeedsRecalibration flag) is cleared. The fleet layer requests it
+// when correlated evidence across the site shows the shift was ambient —
+// receiver-chain or environment-wide — so the level the link sits at now is
+// the empty room, not an intruder. Safe from any goroutine; applied once, at
+// the next Observe.
+func (a *Adapter) RequestRelock() { a.relock.Store(true) }
 
 // AtomicHealth stores a Health snapshot field-by-field in atomics. Store
 // and Load are individually race-free but not mutually consistent on their
@@ -200,22 +255,32 @@ type Adapter struct {
 type AtomicHealth struct {
 	state      atomic.Int32
 	driftZ     atomic.Uint64
+	scoreZ     atomic.Uint64
+	jump       atomic.Bool
 	shiftDB    atomic.Uint64
+	shiftRate  atomic.Uint64
 	refreshes  atomic.Uint64
 	thrUpdates atomic.Uint64
+	relocks    atomic.Uint64
 	threshold  atomic.Uint64
 	needsRecal atomic.Bool
+	suppressed atomic.Bool
 }
 
 // Store writes every field of h atomically.
 func (a *AtomicHealth) Store(h Health) {
 	a.state.Store(int32(h.State))
 	a.driftZ.Store(math.Float64bits(h.DriftZ))
+	a.scoreZ.Store(math.Float64bits(h.ScoreZ))
+	a.jump.Store(h.JumpExceeded)
 	a.shiftDB.Store(math.Float64bits(h.ProfileShiftDB))
+	a.shiftRate.Store(math.Float64bits(h.ShiftRateDB))
 	a.refreshes.Store(h.Refreshes)
 	a.thrUpdates.Store(h.ThresholdUpdates)
+	a.relocks.Store(h.Relocks)
 	a.threshold.Store(math.Float64bits(h.Threshold))
 	a.needsRecal.Store(h.NeedsRecalibration)
+	a.suppressed.Store(h.RefreshSuppressed)
 }
 
 // Load reads every field atomically.
@@ -223,11 +288,16 @@ func (a *AtomicHealth) Load() Health {
 	return Health{
 		State:              State(a.state.Load()),
 		DriftZ:             math.Float64frombits(a.driftZ.Load()),
+		ScoreZ:             math.Float64frombits(a.scoreZ.Load()),
+		JumpExceeded:       a.jump.Load(),
 		ProfileShiftDB:     math.Float64frombits(a.shiftDB.Load()),
+		ShiftRateDB:        math.Float64frombits(a.shiftRate.Load()),
 		Refreshes:          a.refreshes.Load(),
 		ThresholdUpdates:   a.thrUpdates.Load(),
+		Relocks:            a.relocks.Load(),
 		Threshold:          math.Float64frombits(a.threshold.Load()),
 		NeedsRecalibration: a.needsRecal.Load(),
+		RefreshSuppressed:  a.suppressed.Load(),
 	}
 }
 
@@ -323,6 +393,18 @@ func (a *Adapter) Health() Health {
 func (a *Adapter) Observe(window []*csi.Frame, dec core.Decision) (Health, error) {
 	defer func() { a.pub.publish(a.health) }()
 
+	if a.relock.Swap(false) {
+		// Ambient relock: the fleet layer attributed the link's shift to a
+		// site-wide cause, so this window's statistics ARE the empty room.
+		// The window's score was computed against the pre-relock profile —
+		// feeding it to the monitor would poison the fresh rolling state, so
+		// this observation only rebuilds.
+		if err := a.relockNow(window); err != nil {
+			return a.health, err
+		}
+		return a.health, nil
+	}
+
 	a.mon.Observe(dec.Score)
 	stats := a.mon.Snapshot()
 
@@ -342,19 +424,23 @@ func (a *Adapter) Observe(window []*csi.Frame, dec core.Decision) (Health, error
 	// couple of windows. (An arrival below the jump bound remains
 	// statistically indistinguishable from the receiver's own gain
 	// excursions; that residual ambiguity is inherent to a single link.)
+	suppressed := a.suppress.Load()
 	silent := !dec.Present && dec.Threshold > 0 && dec.Score <= a.pol.SilentFraction*dec.Threshold
 	tracking := !silent && a.pol.TrackBand > 0 &&
 		(stats.State == core.DriftHealthy || stats.State == core.DriftWarning) &&
 		!stats.JumpExceeded &&
 		math.Abs(dec.Score-stats.RecentMean) <= a.pol.TrackBand*stats.RefStd
-	if silent || tracking {
+	if (silent || tracking) && !suppressed {
 		if err := a.refresh(window, dec.Score); err != nil {
 			return a.health, err
 		}
 	}
 
 	a.health.DriftZ = stats.Z
-	a.health.ProfileShiftDB = a.lp.ShiftDB()
+	a.health.ScoreZ = stats.ScoreZ
+	a.health.JumpExceeded = stats.JumpExceeded
+	a.health.RefreshSuppressed = suppressed
+	a.updateShiftTrend()
 	a.health.Refreshes = a.lp.Refreshes()
 	a.health.Threshold = a.det.Threshold()
 	switch stats.State {
@@ -418,5 +504,53 @@ func (a *Adapter) refresh(window []*csi.Frame, score float64) error {
 	if err := a.mon.Rebase(a.nulls); err != nil && !errors.Is(err, core.ErrBadInput) {
 		return fmt.Errorf("adapt rebase: %w", err)
 	}
+	return nil
+}
+
+// shiftTrendAlpha is the EWMA weight of one window's ShiftDB increment in
+// the ShiftRateDB trend estimate — fast enough to register an active walk
+// within a few windows, smooth enough that a single refresh blip reads as
+// noise.
+const shiftTrendAlpha = 0.25
+
+// updateShiftTrend folds the latest ShiftDB into the walk-trend estimate.
+func (a *Adapter) updateShiftTrend() {
+	shift := a.lp.ShiftDB()
+	delta := shift - a.lastShiftDB
+	a.lastShiftDB = shift
+	a.health.ProfileShiftDB = shift
+	a.health.ShiftRateDB = (1-shiftTrendAlpha)*a.health.ShiftRateDB + shiftTrendAlpha*delta
+}
+
+// relockNow adopts the window wholesale as the new baseline: full-weight
+// profile replacement, fresh drift-monitor window, cleared quarantine, and
+// an emptied rolling-null buffer (the old nulls described the old baseline).
+// The decision threshold is deliberately retained: post-relock scores sit far
+// below it, so silent refreshes resume immediately and the threshold
+// re-derives from genuinely fresh nulls at the usual cadence — while a person
+// arriving in the meantime still faces a meaningful threshold.
+func (a *Adapter) relockNow(window []*csi.Frame) error {
+	if err := a.det.MeasureWindow(&a.ws, window, a.sc); err != nil {
+		return fmt.Errorf("adapt relock measure: %w", err)
+	}
+	next, err := a.lp.Adopt(&a.ws)
+	if err != nil {
+		return fmt.Errorf("adapt relock: %w", err)
+	}
+	if err := a.det.SetProfile(next); err != nil {
+		return fmt.Errorf("adapt relock swap: %w", err)
+	}
+	a.nulls = a.nulls[:0]
+	a.sinceRederive = 0
+	a.mon.Reset()
+	a.health.State = StateUnknown
+	a.health.DriftZ = 0
+	a.health.ScoreZ = 0
+	a.health.JumpExceeded = false
+	a.health.NeedsRecalibration = false
+	a.health.Relocks++
+	a.health.Refreshes = a.lp.Refreshes()
+	a.health.Threshold = a.det.Threshold()
+	a.updateShiftTrend()
 	return nil
 }

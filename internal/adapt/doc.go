@@ -22,12 +22,29 @@
 //     NeedsRecalibration set, which the engine layer surfaces and can act
 //     on via Recalibrate.
 //
-// Health snapshots (state, drift z, accumulated profile shift) drive the
-// engine's quality-weighted fusion: a drifting or quarantined link's vote is
-// discounted so it cannot outvote healthy links.
+// Health snapshots drive the engine's quality-weighted fusion — a drifting
+// or quarantined link's vote is discounted so it cannot outvote healthy
+// links — and carry the structured drift evidence (signed rolling and
+// per-score z, the step-vs-walk jump discriminator, the profile-walk trend)
+// that the fleet coordination layer correlates across links to tell a
+// person (few links perturbed) from ambient drift (many links moving
+// together).
 //
-// An Adapter is safe for concurrent Observe calls (the engine's scoring
-// workers may finish two windows of one link out of order); updates are
-// serialized internally and profile swaps are copy-on-write through
-// core.Detector.SetProfile.
+// The fleet layer drives two controls, both safe from any goroutine and
+// consumed by the observer: SetRefreshSuppressed holds refreshes while a
+// localized perturbation (likely a person) must not be absorbed, and
+// RequestRelock adopts the next window wholesale as the new baseline —
+// clearing the quarantine — once correlated evidence shows the shift was
+// environmental.
+//
+// AppendBinary/Restore serialize the adapter's full resumable state
+// (walked fingerprints, threshold, rolling windows) as a versioned binary
+// snapshot, so a restarted daemon resumes from the adapted baseline instead
+// of recalibrating; see fleet.Store.
+//
+// Observe is single-writer: exactly one goroutine — the link's owning
+// engine shard — observes a given adapter, and profile swaps are
+// copy-on-write through core.Detector.SetProfile. Health may be read from
+// any goroutine; snapshots publish through an atomic seqlock and never
+// block the observer.
 package adapt

@@ -1,0 +1,159 @@
+package adapt
+
+import (
+	"fmt"
+
+	"mlink/internal/binio"
+	"mlink/internal/core"
+)
+
+// adapterMagic marks a serialized adapter snapshot ("MLAD"); adapterVersion
+// tags the layout so an incompatible build rejects instead of misreading.
+const (
+	adapterMagic   uint32 = 0x4D4C4144
+	adapterVersion uint16 = 1
+)
+
+// ErrBadSnapshot reports an adapter snapshot that cannot be decoded. It
+// wraps core.ErrBadInput (bad data), deliberately NOT ErrBadPolicy — a
+// corrupt file and a misconfigured policy call for different remediations.
+var ErrBadSnapshot = fmt.Errorf("adapt: bad adapter snapshot (%w)", core.ErrBadInput)
+
+// AppendBinary serializes the adapter's full resumable state — link profile
+// (original and adapted fingerprints), decision threshold and its
+// calibration-time floor, the rolling null buffer, the drift monitor's
+// rolling window, and the health counters — so a restarted daemon resumes
+// from the walked baseline instead of recalibrating from scratch. Call it
+// from the observer's goroutine (or while the link is quiescent), like every
+// other observer-side method.
+func (a *Adapter) AppendBinary(dst []byte) ([]byte, error) {
+	dst = binio.AppendU32(dst, adapterMagic)
+	dst = binio.AppendU16(dst, adapterVersion)
+	lpBlob, err := a.lp.AppendBinary(nil)
+	if err != nil {
+		return nil, fmt.Errorf("adapter profile: %w", err)
+	}
+	dst = binio.AppendBytes(dst, lpBlob)
+	dst = binio.AppendF64(dst, a.det.Threshold())
+	dst = binio.AppendF64(dst, a.baseThr)
+	dst = binio.AppendF64s(dst, a.nulls)
+	dst = binio.AppendI64(dst, int64(a.sinceRederive))
+	dst = binio.AppendF64(dst, a.lastShiftDB)
+
+	mon := a.mon.State()
+	dst = binio.AppendF64(dst, mon.RefMean)
+	dst = binio.AppendF64(dst, mon.RefStd)
+	dst = binio.AppendF64s(dst, mon.Scores)
+	dst = binio.AppendF64s(dst, mon.Jumps)
+	dst = binio.AppendF64(dst, mon.Prev)
+	dst = binio.AppendBool(dst, mon.HavePrev)
+	dst = binio.AppendU64(dst, mon.Seen)
+	dst = binio.AppendI64(dst, int64(mon.OverCritical))
+	dst = binio.AppendBool(dst, mon.Latched)
+
+	h := a.health
+	dst = binio.AppendI64(dst, int64(h.State))
+	dst = binio.AppendF64(dst, h.DriftZ)
+	dst = binio.AppendF64(dst, h.ScoreZ)
+	dst = binio.AppendBool(dst, h.JumpExceeded)
+	dst = binio.AppendF64(dst, h.ShiftRateDB)
+	dst = binio.AppendU64(dst, h.ThresholdUpdates)
+	dst = binio.AppendU64(dst, h.Relocks)
+	dst = binio.AppendBool(dst, h.NeedsRecalibration)
+	return dst, nil
+}
+
+// Restore rebuilds an adapter — and the detector it drives — from a snapshot
+// produced by AppendBinary. cfg must be the link's scoring configuration
+// (the profile's shape and scheme requirements are validated against it) and
+// pol the adaptation policy to resume under; the persisted rolling windows
+// are re-fitted into the policy's buffer lengths, keeping the newest samples
+// when a buffer shrank.
+func Restore(pol Policy, cfg core.Config, blob []byte) (*Adapter, *core.Detector, error) {
+	if err := pol.validate(); err != nil {
+		return nil, nil, err
+	}
+	pol = pol.withDefaults()
+	r := binio.NewReader(blob)
+	if m := r.U32(); r.Err() == nil && m != adapterMagic {
+		return nil, nil, fmt.Errorf("magic %#x: %w", m, ErrBadSnapshot)
+	}
+	if v := r.U16(); r.Err() == nil && v != adapterVersion {
+		return nil, nil, fmt.Errorf("version %d (want %d): %w", v, adapterVersion, ErrBadSnapshot)
+	}
+	lpBlob := r.Bytes()
+	if err := r.Err(); err != nil {
+		return nil, nil, fmt.Errorf("restore: %w", err)
+	}
+	lp, err := core.UnmarshalLinkProfile(lpBlob)
+	if err != nil {
+		return nil, nil, fmt.Errorf("restore profile: %w", err)
+	}
+	threshold := r.F64()
+	baseThr := r.F64()
+	nulls := r.F64s()
+	sinceRederive := int(r.I64())
+	lastShiftDB := r.F64()
+
+	mon := core.DriftMonitorState{
+		RefMean:      r.F64(),
+		RefStd:       r.F64(),
+		Scores:       r.F64s(),
+		Jumps:        r.F64s(),
+		Prev:         r.F64(),
+		HavePrev:     r.Bool(),
+		Seen:         r.U64(),
+		OverCritical: int(r.I64()),
+		Latched:      r.Bool(),
+	}
+
+	var h Health
+	h.State = State(r.I64())
+	h.DriftZ = r.F64()
+	h.ScoreZ = r.F64()
+	h.JumpExceeded = r.Bool()
+	h.ShiftRateDB = r.F64()
+	h.ThresholdUpdates = r.U64()
+	h.Relocks = r.U64()
+	h.NeedsRecalibration = r.Bool()
+	if err := r.Done(); err != nil {
+		return nil, nil, fmt.Errorf("restore: %w", err)
+	}
+
+	det, err := core.NewDetector(cfg, lp.Original())
+	if err != nil {
+		return nil, nil, fmt.Errorf("restore detector: %w", err)
+	}
+	if err := det.SetProfile(lp.Current()); err != nil {
+		return nil, nil, fmt.Errorf("restore detector: %w", err)
+	}
+	det.SetThreshold(threshold)
+	monitor, err := core.RestoreDriftMonitor(pol.Drift, mon)
+	if err != nil {
+		return nil, nil, fmt.Errorf("restore drift monitor: %w", err)
+	}
+
+	if len(nulls) > pol.NullWindow {
+		nulls = nulls[len(nulls)-pol.NullWindow:]
+	}
+	ring := make([]float64, 0, pol.NullWindow)
+	ring = append(ring, nulls...)
+
+	h.ProfileShiftDB = lp.ShiftDB()
+	h.Refreshes = lp.Refreshes()
+	h.Threshold = threshold
+	a := &Adapter{
+		pol:           pol,
+		det:           det,
+		lp:            lp,
+		mon:           monitor,
+		sc:            core.NewScratch(),
+		nulls:         ring,
+		baseThr:       baseThr,
+		health:        h,
+		sinceRederive: sinceRederive,
+		lastShiftDB:   lastShiftDB,
+	}
+	a.pub.publish(a.health)
+	return a, det, nil
+}

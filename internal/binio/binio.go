@@ -1,0 +1,173 @@
+// Package binio holds the byte-level primitives behind every versioned
+// binary format in this repository (link-profile snapshots, adapter state,
+// engine link records). Writers are plain append helpers; the Reader carries
+// a sticky error so decoding code reads field after field and checks once at
+// the end, exactly like bufio.Scanner.
+//
+// All integers are big-endian, matching the csinet wire protocol. Floats are
+// IEEE 754 bit patterns, so round trips are exact — the persistence layer's
+// "restored links score within 1e-9" guarantee actually holds bit-for-bit at
+// this level.
+package binio
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrShort reports a truncated or overlong buffer.
+var ErrShort = errors.New("binio: short buffer")
+
+// AppendU16 appends a big-endian uint16.
+func AppendU16(dst []byte, v uint16) []byte { return binary.BigEndian.AppendUint16(dst, v) }
+
+// AppendU32 appends a big-endian uint32.
+func AppendU32(dst []byte, v uint32) []byte { return binary.BigEndian.AppendUint32(dst, v) }
+
+// AppendU64 appends a big-endian uint64.
+func AppendU64(dst []byte, v uint64) []byte { return binary.BigEndian.AppendUint64(dst, v) }
+
+// AppendI64 appends a big-endian int64 (two's complement).
+func AppendI64(dst []byte, v int64) []byte { return AppendU64(dst, uint64(v)) }
+
+// AppendF64 appends an IEEE 754 bit pattern.
+func AppendF64(dst []byte, v float64) []byte { return AppendU64(dst, math.Float64bits(v)) }
+
+// AppendBool appends one byte (0 or 1).
+func AppendBool(dst []byte, v bool) []byte {
+	if v {
+		return append(dst, 1)
+	}
+	return append(dst, 0)
+}
+
+// AppendF64s appends a length-prefixed float64 slice.
+func AppendF64s(dst []byte, vs []float64) []byte {
+	dst = AppendU32(dst, uint32(len(vs)))
+	for _, v := range vs {
+		dst = AppendF64(dst, v)
+	}
+	return dst
+}
+
+// AppendBytes appends a length-prefixed byte slice.
+func AppendBytes(dst, b []byte) []byte {
+	dst = AppendU32(dst, uint32(len(b)))
+	return append(dst, b...)
+}
+
+// Reader consumes a buffer field by field with a sticky error: after the
+// first short read every further accessor returns the zero value, and Err
+// reports what went wrong. Decoders therefore read unconditionally and check
+// Err (plus Rest, if the format must consume the whole buffer) exactly once.
+type Reader struct {
+	b   []byte
+	err error
+}
+
+// NewReader wraps a buffer.
+func NewReader(b []byte) *Reader { return &Reader{b: b} }
+
+// Err returns the sticky decoding error, nil while all reads succeeded.
+func (r *Reader) Err() error { return r.err }
+
+// Rest returns the unconsumed tail.
+func (r *Reader) Rest() []byte { return r.b }
+
+// Done returns nil when the buffer was fully and cleanly consumed.
+func (r *Reader) Done() error {
+	if r.err != nil {
+		return r.err
+	}
+	if len(r.b) != 0 {
+		return fmt.Errorf("%d trailing bytes: %w", len(r.b), ErrShort)
+	}
+	return nil
+}
+
+func (r *Reader) take(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if len(r.b) < n {
+		r.err = fmt.Errorf("need %d bytes, have %d: %w", n, len(r.b), ErrShort)
+		return nil
+	}
+	out := r.b[:n]
+	r.b = r.b[n:]
+	return out
+}
+
+// U16 reads a big-endian uint16.
+func (r *Reader) U16() uint16 {
+	b := r.take(2)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint16(b)
+}
+
+// U32 reads a big-endian uint32.
+func (r *Reader) U32() uint32 {
+	b := r.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint32(b)
+}
+
+// U64 reads a big-endian uint64.
+func (r *Reader) U64() uint64 {
+	b := r.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint64(b)
+}
+
+// I64 reads a big-endian int64.
+func (r *Reader) I64() int64 { return int64(r.U64()) }
+
+// F64 reads an IEEE 754 bit pattern.
+func (r *Reader) F64() float64 { return math.Float64frombits(r.U64()) }
+
+// Bool reads one byte as a boolean (any non-zero value is true).
+func (r *Reader) Bool() bool {
+	b := r.take(1)
+	return b != nil && b[0] != 0
+}
+
+// F64s reads a length-prefixed float64 slice (nil for length zero). The
+// length guard compares in uint64 so a corrupt prefix cannot wrap the
+// arithmetic on 32-bit platforms into a bogus pass.
+func (r *Reader) F64s() []float64 {
+	n := r.U32()
+	if r.err != nil || n == 0 {
+		return nil
+	}
+	if uint64(len(r.b)) < 8*uint64(n) {
+		r.err = fmt.Errorf("float64 slice of %d: %w", n, ErrShort)
+		return nil
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = r.F64()
+	}
+	return out
+}
+
+// Bytes reads a length-prefixed byte slice (nil for length zero). The
+// returned slice aliases the reader's buffer.
+func (r *Reader) Bytes() []byte {
+	n := r.U32()
+	if r.err != nil {
+		return nil
+	}
+	if uint64(n) > uint64(len(r.b)) {
+		r.err = fmt.Errorf("byte slice of %d: %w", n, ErrShort)
+		return nil
+	}
+	return r.take(int(n))
+}

@@ -1,0 +1,101 @@
+package binio
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestRoundTrip(t *testing.T) {
+	var b []byte
+	b = AppendU16(b, 0xBEEF)
+	b = AppendU32(b, 0xDEADBEEF)
+	b = AppendU64(b, 1<<63|12345)
+	b = AppendI64(b, -42)
+	b = AppendF64(b, math.Pi)
+	b = AppendF64(b, math.Inf(-1))
+	b = AppendBool(b, true)
+	b = AppendBool(b, false)
+	b = AppendF64s(b, []float64{1.5, -2.5, math.NaN()})
+	b = AppendF64s(b, nil)
+	b = AppendBytes(b, []byte("hello"))
+
+	r := NewReader(b)
+	if got := r.U16(); got != 0xBEEF {
+		t.Fatalf("u16 = %#x", got)
+	}
+	if got := r.U32(); got != 0xDEADBEEF {
+		t.Fatalf("u32 = %#x", got)
+	}
+	if got := r.U64(); got != 1<<63|12345 {
+		t.Fatalf("u64 = %d", got)
+	}
+	if got := r.I64(); got != -42 {
+		t.Fatalf("i64 = %d", got)
+	}
+	if got := r.F64(); got != math.Pi {
+		t.Fatalf("f64 = %v", got)
+	}
+	if got := r.F64(); !math.IsInf(got, -1) {
+		t.Fatalf("-inf = %v", got)
+	}
+	if !r.Bool() || r.Bool() {
+		t.Fatal("bools did not round-trip")
+	}
+	fs := r.F64s()
+	if len(fs) != 3 || fs[0] != 1.5 || fs[1] != -2.5 || !math.IsNaN(fs[2]) {
+		t.Fatalf("f64s = %v", fs)
+	}
+	if got := r.F64s(); got != nil {
+		t.Fatalf("empty f64s = %v", got)
+	}
+	if got := string(r.Bytes()); got != "hello" {
+		t.Fatalf("bytes = %q", got)
+	}
+	if err := r.Done(); err != nil {
+		t.Fatalf("done: %v", err)
+	}
+}
+
+func TestReaderStickyError(t *testing.T) {
+	r := NewReader([]byte{1, 2})
+	if got := r.U64(); got != 0 {
+		t.Fatalf("short u64 = %d", got)
+	}
+	if !errors.Is(r.Err(), ErrShort) {
+		t.Fatalf("err = %v", r.Err())
+	}
+	// Every further read stays zero-valued; the error is sticky.
+	if r.U32() != 0 || r.F64() != 0 || r.Bool() || r.F64s() != nil || r.Bytes() != nil {
+		t.Fatal("reads after error returned data")
+	}
+	if err := r.Done(); !errors.Is(err, ErrShort) {
+		t.Fatalf("done = %v", err)
+	}
+}
+
+func TestReaderTrailingBytes(t *testing.T) {
+	r := NewReader(AppendU16(nil, 7))
+	_ = r.U16()
+	if err := r.Done(); err != nil {
+		t.Fatalf("clean done: %v", err)
+	}
+	r = NewReader(append(AppendU16(nil, 7), 0xFF))
+	_ = r.U16()
+	if err := r.Done(); !errors.Is(err, ErrShort) {
+		t.Fatalf("trailing bytes done = %v", err)
+	}
+}
+
+func TestReaderHugeSliceLength(t *testing.T) {
+	// A corrupt length prefix must error, not allocate gigabytes.
+	b := AppendU32(nil, 1<<30)
+	r := NewReader(b)
+	if got := r.F64s(); got != nil || r.Err() == nil {
+		t.Fatalf("huge f64s = %v, err %v", got, r.Err())
+	}
+	r = NewReader(b)
+	if got := r.Bytes(); got != nil || r.Err() == nil {
+		t.Fatalf("huge bytes = %v, err %v", got, r.Err())
+	}
+}

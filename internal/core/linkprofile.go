@@ -104,6 +104,45 @@ func (lp *LinkProfile) Refresh(ws *WindowStats) (*Profile, error) {
 	return next, nil
 }
 
+// Adopt replaces the current fingerprints wholesale with one window's
+// statistics — a Refresh with α = 1. It is the fleet layer's ambient-drift
+// relock: when every link of a site moved together, the level the site sits
+// at now *is* the empty room, and EWMA-walking towards it over dozens of
+// windows would false-alarm the whole way. Like Refresh it is copy-on-write
+// and carries the spectrum-derived fields over by reference.
+func (lp *LinkProfile) Adopt(ws *WindowStats) (*Profile, error) {
+	if ws == nil || len(ws.MeanAmp) == 0 {
+		return nil, fmt.Errorf("adopt with empty window stats: %w", ErrBadInput)
+	}
+	if len(ws.MeanAmp) != len(lp.cur.MeanAmp) || len(ws.MeanAmp[0]) != len(lp.cur.MeanAmp[0]) {
+		return nil, fmt.Errorf("window stats %dx%d differ from profile %dx%d: %w",
+			len(ws.MeanAmp), len(ws.MeanAmp[0]),
+			len(lp.cur.MeanAmp), len(lp.cur.MeanAmp[0]), ErrBadInput)
+	}
+	nAnt := len(lp.cur.MeanAmp)
+	nSub := len(lp.cur.MeanAmp[0])
+	next := &Profile{
+		MeanAmp:        zeros2(nAnt, nSub),
+		MeanRSSdB:      zeros2(nAnt, nSub),
+		StaticSpectrum: lp.cur.StaticSpectrum,
+		PathWeights:    lp.cur.PathWeights,
+		Frames:         lp.cur.Frames,
+	}
+	for ant := 0; ant < nAnt; ant++ {
+		for k := 0; k < nSub; k++ {
+			v, r := ws.MeanAmp[ant][k], ws.MeanRSSdB[ant][k]
+			if math.IsNaN(v) || math.IsInf(v, 0) || math.IsNaN(r) {
+				return nil, fmt.Errorf("non-finite adopt at antenna %d subcarrier %d: %w", ant, k, ErrBadInput)
+			}
+			next.MeanAmp[ant][k] = v
+			next.MeanRSSdB[ant][k] = r
+		}
+	}
+	lp.cur = next
+	lp.refreshes++
+	return next, nil
+}
+
 // ShiftDB measures how far the adapted profile has walked from the
 // calibration-time original: the mean absolute per-subcarrier RSS change in
 // dB across all antennas. It is the accumulated-adaptation counterpart of

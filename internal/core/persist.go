@@ -1,0 +1,392 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"mlink/internal/binio"
+	"mlink/internal/csi"
+	"mlink/internal/music"
+)
+
+// Versioned binary formats. Every top-level blob opens with a magic and a
+// version so a daemon restarted onto a newer build can reject (rather than
+// misread) profiles persisted by an older one.
+const (
+	// profileVersion tags the Profile wire layout.
+	profileVersion uint16 = 1
+	// linkProfileVersion tags the LinkProfile (orig + adapted) layout.
+	linkProfileVersion uint16 = 1
+)
+
+// profileMagic marks a serialized Profile ("MLPR") and linkProfileMagic a
+// serialized LinkProfile ("MLLP").
+const (
+	profileMagic     uint32 = 0x4D4C5052
+	linkProfileMagic uint32 = 0x4D4C4C50
+)
+
+// ErrBadSnapshot reports a persisted blob that cannot be decoded: truncated,
+// wrong magic, or a version this build does not understand.
+var ErrBadSnapshot = fmt.Errorf("core: bad profile snapshot (%w)", ErrBadInput)
+
+// appendFrame serializes one CSI frame (shape, metadata, RSSI, IQ values).
+func appendFrame(dst []byte, f *csi.Frame) []byte {
+	dst = binio.AppendU32(dst, f.Seq)
+	dst = binio.AppendU64(dst, f.TimestampMicros)
+	dst = binio.AppendU16(dst, uint16(f.NumAntennas()))
+	dst = binio.AppendU16(dst, uint16(f.NumSubcarriers()))
+	for _, r := range f.RSSI {
+		dst = binio.AppendF64(dst, r)
+	}
+	for _, row := range f.CSI {
+		for _, v := range row {
+			dst = binio.AppendF64(dst, real(v))
+			dst = binio.AppendF64(dst, imag(v))
+		}
+	}
+	return dst
+}
+
+func readFrame(r *binio.Reader) (*csi.Frame, error) {
+	seq := r.U32()
+	ts := r.U64()
+	nAnt := int(r.U16())
+	nSub := int(r.U16())
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	if nAnt == 0 || nSub == 0 {
+		return nil, fmt.Errorf("frame %dx%d: %w", nAnt, nSub, ErrBadSnapshot)
+	}
+	// Corrupt dimensions must fail as a decode error before the contiguous
+	// frame backing is allocated, not as a multi-gigabyte OOM.
+	if need := 8*uint64(nAnt) + 16*uint64(nAnt)*uint64(nSub); uint64(len(r.Rest())) < need {
+		return nil, fmt.Errorf("frame %dx%d needs %d bytes, have %d: %w",
+			nAnt, nSub, need, len(r.Rest()), ErrBadSnapshot)
+	}
+	f := csi.NewFrame(nAnt, nSub)
+	f.Seq, f.TimestampMicros = seq, ts
+	for i := range f.RSSI {
+		f.RSSI[i] = r.F64()
+	}
+	for _, row := range f.CSI {
+		for k := range row {
+			re := r.F64()
+			im := r.F64()
+			row[k] = complex(re, im)
+		}
+	}
+	return f, r.Err()
+}
+
+// appendGrid2 serializes a rectangular [][]float64.
+func appendGrid2(dst []byte, g [][]float64) []byte {
+	dst = binio.AppendU16(dst, uint16(len(g)))
+	cols := 0
+	if len(g) > 0 {
+		cols = len(g[0])
+	}
+	dst = binio.AppendU16(dst, uint16(cols))
+	for _, row := range g {
+		for _, v := range row {
+			dst = binio.AppendF64(dst, v)
+		}
+	}
+	return dst
+}
+
+func readGrid2(r *binio.Reader) ([][]float64, error) {
+	rows := int(r.U16())
+	cols := int(r.U16())
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	if rows == 0 || cols == 0 {
+		return nil, fmt.Errorf("empty %dx%d fingerprint: %w", rows, cols, ErrBadSnapshot)
+	}
+	// Validate against the remaining bytes before any row is allocated.
+	if need := 8 * uint64(rows) * uint64(cols); uint64(len(r.Rest())) < need {
+		return nil, fmt.Errorf("%dx%d fingerprint needs %d bytes, have %d: %w",
+			rows, cols, need, len(r.Rest()), ErrBadSnapshot)
+	}
+	out := make([][]float64, rows)
+	for i := range out {
+		out[i] = make([]float64, cols)
+		for j := range out[i] {
+			out[i][j] = r.F64()
+		}
+	}
+	return out, r.Err()
+}
+
+// AppendBinary serializes the profile — fingerprints, static spectrum, path
+// weights and the retained calibration frames, i.e. everything scoring
+// touches — onto dst and returns the extended slice.
+func (p *Profile) AppendBinary(dst []byte) ([]byte, error) {
+	if p == nil || len(p.MeanAmp) == 0 || len(p.MeanRSSdB) == 0 {
+		return nil, fmt.Errorf("serialize empty profile: %w", ErrBadInput)
+	}
+	dst = binio.AppendU32(dst, profileMagic)
+	dst = binio.AppendU16(dst, profileVersion)
+	dst = appendGrid2(dst, p.MeanAmp)
+	dst = appendGrid2(dst, p.MeanRSSdB)
+	if p.StaticSpectrum != nil {
+		dst = binio.AppendBool(dst, true)
+		dst = binio.AppendF64s(dst, p.StaticSpectrum.AnglesDeg)
+		dst = binio.AppendF64s(dst, p.StaticSpectrum.Power)
+	} else {
+		dst = binio.AppendBool(dst, false)
+	}
+	dst = binio.AppendF64s(dst, p.PathWeights)
+	dst = binio.AppendU32(dst, uint32(len(p.Frames)))
+	for _, f := range p.Frames {
+		if err := f.Validate(); err != nil {
+			return nil, fmt.Errorf("serialize profile frame: %w", err)
+		}
+		dst = appendFrame(dst, f)
+	}
+	return dst, nil
+}
+
+// readProfile decodes one Profile from the reader's current position.
+func readProfile(r *binio.Reader) (*Profile, error) {
+	if m := r.U32(); r.Err() == nil && m != profileMagic {
+		return nil, fmt.Errorf("profile magic %#x: %w", m, ErrBadSnapshot)
+	}
+	if v := r.U16(); r.Err() == nil && v != profileVersion {
+		return nil, fmt.Errorf("profile version %d (want %d): %w", v, profileVersion, ErrBadSnapshot)
+	}
+	p := &Profile{}
+	var err error
+	if p.MeanAmp, err = readGrid2(r); err != nil {
+		return nil, fmt.Errorf("mean amplitude: %w", err)
+	}
+	if p.MeanRSSdB, err = readGrid2(r); err != nil {
+		return nil, fmt.Errorf("mean rss: %w", err)
+	}
+	if r.Bool() {
+		p.StaticSpectrum = &music.Spectrum{AnglesDeg: r.F64s(), Power: r.F64s()}
+	}
+	p.PathWeights = r.F64s()
+	nFrames := int(r.U32())
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	// Every frame costs at least its fixed header; a corrupt count cannot
+	// be allowed to size the slice.
+	if uint64(nFrames)*16 > uint64(len(r.Rest())) {
+		return nil, fmt.Errorf("%d frames in %d bytes: %w", nFrames, len(r.Rest()), ErrBadSnapshot)
+	}
+	p.Frames = make([]*csi.Frame, 0, nFrames)
+	for i := 0; i < nFrames; i++ {
+		f, err := readFrame(r)
+		if err != nil {
+			return nil, fmt.Errorf("frame %d: %w", i, err)
+		}
+		p.Frames = append(p.Frames, f)
+	}
+	return p, r.Err()
+}
+
+// UnmarshalProfile decodes a Profile serialized by AppendBinary. The whole
+// buffer must be consumed.
+func UnmarshalProfile(b []byte) (*Profile, error) {
+	r := binio.NewReader(b)
+	p, err := readProfile(r)
+	if err != nil {
+		return nil, err
+	}
+	if err := r.Done(); err != nil {
+		return nil, fmt.Errorf("profile: %w", err)
+	}
+	return p, nil
+}
+
+// AppendBinary serializes the link profile: EWMA alpha, refresh count, the
+// immutable calibration original (in full, spectrum and frames included) and
+// the adapted fingerprints. ShiftDB needs no field of its own — it is
+// re-derived from the two fingerprints on restore, so it can never disagree
+// with them.
+func (lp *LinkProfile) AppendBinary(dst []byte) ([]byte, error) {
+	dst = binio.AppendU32(dst, linkProfileMagic)
+	dst = binio.AppendU16(dst, linkProfileVersion)
+	dst = binio.AppendF64(dst, lp.alpha)
+	dst = binio.AppendU64(dst, lp.refreshes)
+	var err error
+	if dst, err = lp.orig.AppendBinary(dst); err != nil {
+		return nil, fmt.Errorf("link profile original: %w", err)
+	}
+	// The adapted profile shares spectrum/path-weights/frames with the
+	// original by construction (Refresh and Adopt carry them over by
+	// reference), so only its fingerprints are stored.
+	dst = appendGrid2(dst, lp.cur.MeanAmp)
+	dst = appendGrid2(dst, lp.cur.MeanRSSdB)
+	return dst, nil
+}
+
+// readLinkProfile decodes a LinkProfile from the reader's current position.
+func readLinkProfile(r *binio.Reader) (*LinkProfile, error) {
+	if m := r.U32(); r.Err() == nil && m != linkProfileMagic {
+		return nil, fmt.Errorf("link profile magic %#x: %w", m, ErrBadSnapshot)
+	}
+	if v := r.U16(); r.Err() == nil && v != linkProfileVersion {
+		return nil, fmt.Errorf("link profile version %d (want %d): %w", v, linkProfileVersion, ErrBadSnapshot)
+	}
+	alpha := r.F64()
+	refreshes := r.U64()
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	orig, err := readProfile(r)
+	if err != nil {
+		return nil, fmt.Errorf("original profile: %w", err)
+	}
+	lp, err := NewLinkProfile(orig, alpha)
+	if err != nil {
+		return nil, err
+	}
+	curAmp, err := readGrid2(r)
+	if err != nil {
+		return nil, fmt.Errorf("adapted amplitude: %w", err)
+	}
+	curRSS, err := readGrid2(r)
+	if err != nil {
+		return nil, fmt.Errorf("adapted rss: %w", err)
+	}
+	if len(curAmp) != len(orig.MeanAmp) || len(curAmp[0]) != len(orig.MeanAmp[0]) {
+		return nil, fmt.Errorf("adapted fingerprint %dx%d differs from original %dx%d: %w",
+			len(curAmp), len(curAmp[0]), len(orig.MeanAmp), len(orig.MeanAmp[0]), ErrBadSnapshot)
+	}
+	if len(curRSS) != len(curAmp) || len(curRSS[0]) != len(curAmp[0]) {
+		return nil, fmt.Errorf("adapted rss %dx%d differs from amplitude %dx%d: %w",
+			len(curRSS), len(curRSS[0]), len(curAmp), len(curAmp[0]), ErrBadSnapshot)
+	}
+	if refreshes > 0 {
+		lp.cur = &Profile{
+			MeanAmp:        curAmp,
+			MeanRSSdB:      curRSS,
+			StaticSpectrum: orig.StaticSpectrum,
+			PathWeights:    orig.PathWeights,
+			Frames:         orig.Frames,
+		}
+	}
+	lp.refreshes = refreshes
+	return lp, nil
+}
+
+// UnmarshalLinkProfile decodes a LinkProfile serialized by AppendBinary. The
+// whole buffer must be consumed.
+func UnmarshalLinkProfile(b []byte) (*LinkProfile, error) {
+	r := binio.NewReader(b)
+	lp, err := readLinkProfile(r)
+	if err != nil {
+		return nil, err
+	}
+	if err := r.Done(); err != nil {
+		return nil, fmt.Errorf("link profile: %w", err)
+	}
+	return lp, nil
+}
+
+// DriftMonitorState is the serializable state of a DriftMonitor: reference
+// statistics plus the rolling score window, ordered oldest to newest. It is
+// what the persistence layer stores so a restarted daemon's drift test
+// resumes mid-window instead of going blind for a whole warm-up period.
+type DriftMonitorState struct {
+	// RefMean and RefStd are the reference null statistics (μ₀, σ₀).
+	RefMean, RefStd float64
+	// Scores and Jumps are the rolling window contents, oldest first; Jumps
+	// is aligned with Scores (|Δ| versus the preceding observation).
+	Scores, Jumps []float64
+	// Prev is the last observed score (the jump base), valid when HavePrev.
+	Prev     float64
+	HavePrev bool
+	// Seen counts all observations ever made.
+	Seen uint64
+	// OverCritical is the current consecutive-over-critical streak and
+	// Latched the critical hysteresis latch.
+	OverCritical int
+	Latched      bool
+}
+
+// State exports the monitor for persistence.
+func (m *DriftMonitor) State() DriftMonitorState {
+	n := m.count()
+	st := DriftMonitorState{
+		RefMean:      m.refMean,
+		RefStd:       m.refStd,
+		Scores:       make([]float64, 0, n),
+		Jumps:        make([]float64, 0, n),
+		Prev:         m.prev,
+		HavePrev:     m.havePrev,
+		Seen:         m.seen,
+		OverCritical: m.overCrit,
+		Latched:      m.latched,
+	}
+	start := 0
+	if m.full {
+		start = m.next
+	}
+	for i := 0; i < n; i++ {
+		j := (start + i) % len(m.ring)
+		st.Scores = append(st.Scores, m.ring[j])
+		st.Jumps = append(st.Jumps, m.jumps[j])
+	}
+	return st
+}
+
+// RestoreDriftMonitor rebuilds a monitor from persisted state under the given
+// config. A window shorter than the persisted sample keeps the newest scores.
+func RestoreDriftMonitor(cfg DriftConfig, st DriftMonitorState) (*DriftMonitor, error) {
+	cfg = cfg.withDefaults()
+	if len(st.Jumps) != len(st.Scores) {
+		return nil, fmt.Errorf("drift state with %d jumps for %d scores: %w", len(st.Jumps), len(st.Scores), ErrBadInput)
+	}
+	if st.RefStd <= 0 || math.IsNaN(st.RefMean) || math.IsNaN(st.RefStd) {
+		return nil, fmt.Errorf("drift state reference (μ₀=%v, σ₀=%v): %w", st.RefMean, st.RefStd, ErrBadInput)
+	}
+	m := &DriftMonitor{
+		cfg:      cfg,
+		refMean:  st.RefMean,
+		refStd:   st.RefStd,
+		ring:     make([]float64, cfg.Window),
+		jumps:    make([]float64, cfg.Window),
+		prev:     st.Prev,
+		havePrev: st.HavePrev,
+		seen:     st.Seen,
+		overCrit: st.OverCritical,
+		latched:  st.Latched,
+		last:     DriftStats{RefMean: st.RefMean, RefStd: st.RefStd, Observed: st.Seen},
+	}
+	scores, jumps := st.Scores, st.Jumps
+	if len(scores) > cfg.Window {
+		scores = scores[len(scores)-cfg.Window:]
+		jumps = jumps[len(jumps)-cfg.Window:]
+	}
+	for i, s := range scores {
+		m.ring[i] = s
+		m.jumps[i] = jumps[i]
+		m.sum += s
+	}
+	m.next = len(scores) % cfg.Window
+	m.full = len(scores) == cfg.Window
+	return m, nil
+}
+
+// Reset empties the rolling window and clears the critical latch while
+// keeping the reference statistics — the clean-slate restart the fleet layer
+// performs after relocking a link's baseline, when the scores accumulated
+// against the pre-relock profile would poison every rolling statistic.
+func (m *DriftMonitor) Reset() {
+	for i := range m.ring {
+		m.ring[i] = 0
+		m.jumps[i] = 0
+	}
+	m.next, m.full = 0, false
+	m.sum = 0
+	m.havePrev = false
+	m.overCrit = 0
+	m.latched = false
+	m.last = DriftStats{RefMean: m.refMean, RefStd: m.refStd, Observed: m.seen}
+}

@@ -86,7 +86,7 @@ func MedianInPlace(xs []float64) (float64, error) {
 	// Even length: the lower middle is the maximum of the left partition,
 	// which quickselect left holding the n/2 smallest elements.
 	lower := xs[0]
-	for _, v := range xs[1:n/2] {
+	for _, v := range xs[1 : n/2] {
 		if fltLess(lower, v) {
 			lower = v
 		}

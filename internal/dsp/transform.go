@@ -34,7 +34,7 @@ func (d *dirTables) fill(n int, w []complex128) {
 	if n%5 == 0 {
 		for q := 0; q < 5; q++ {
 			for j := 0; j < 5; j++ {
-				d.b5[q][j] = w[(n / 5 * j * q) % n]
+				d.b5[q][j] = w[(n/5*j*q)%n]
 			}
 		}
 	}

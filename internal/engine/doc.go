@@ -28,4 +28,14 @@
 // link in place). The per-link health feeds WeightedKOfN fusion — each
 // link votes with its characterized μ scaled by health, so a drifting or
 // dead link cannot outvote healthy ones.
+//
+// Recalibration is online: while Run is active, Recalibrate (blocking) and
+// RequestRecalibration (fire-and-forget, the fleet coordinator's entry
+// point) post the rebuild to the shard that owns the link, which drains the
+// link's stream into a fresh calibration at its next pass — sibling links
+// never pause, the single-writer ownership of detectors and adapters is
+// preserved, and the link is excluded from fusion (Recalibrating) until its
+// new baseline lands. SuppressRefresh and RelockLink expose the adapter's
+// fleet controls per link, and ExportLink/ImportLink serialize a link's
+// full monitoring state as versioned records for fleet.Store persistence.
 package engine

@@ -23,10 +23,19 @@ var (
 	ErrNotCalibrated = errors.New("engine: link not calibrated")
 	// ErrRunning rejects fleet mutation while Run is active.
 	ErrRunning = errors.New("engine: engine is running")
+	// ErrNotRunning rejects operations that need an active Run (posting an
+	// online recalibration to a stopped engine, for instance).
+	ErrNotRunning = errors.New("engine: not running")
 	// ErrDuplicateLink rejects reuse of a link ID.
 	ErrDuplicateLink = errors.New("engine: duplicate link id")
 	// ErrUnknownLink reports an ID that is not in the fleet.
 	ErrUnknownLink = errors.New("engine: unknown link")
+	// ErrRecalPending rejects a second recalibration of a link whose first
+	// one has not completed yet.
+	ErrRecalPending = errors.New("engine: recalibration already pending")
+	// ErrNotAdaptive reports a fleet-control operation on a link that runs
+	// without an adaptation loop.
+	ErrNotAdaptive = errors.New("engine: link not adaptive")
 )
 
 // Config parameterizes an Engine.
@@ -89,10 +98,24 @@ type link struct {
 	cfg      core.Config
 	src      Source
 	recycler FrameRecycler // non-nil when src pools its frames
+	// shard is the link's owning shard for the current Run (assigned under
+	// e.mu by ensureShards); recal posters consult its exited flag.
+	shard *shard
 
-	det     *core.Detector
-	adapter *adapt.Adapter // nil when adaptation is disabled
+	det *core.Detector
+	// adapter is nil when adaptation is disabled. It is an atomic pointer —
+	// not part of the owner partition — because the fleet layer's control
+	// calls (SuppressRefresh, RelockLink) look it up from arbitrary
+	// goroutines while an online recalibration on the owning shard may be
+	// swapping it.
+	adapter atomic.Pointer[adapt.Adapter]
 	meanMu  float64
+
+	// recal is the link's pending online-recalibration request. Posted from
+	// any goroutine (under e.mu), consumed by the owning shard at its next
+	// pass — the latch that lets Recalibrate run while Run is active without
+	// a second writer ever touching the link's detector or adapter.
+	recal atomic.Pointer[recalJob]
 
 	// win is the link's persistent window slab: one WindowSize-capacity
 	// frame buffer reused for every tick of every Run — the replacement for
@@ -104,6 +127,20 @@ type link struct {
 	state linkState
 }
 
+// recalJob is one posted online recalibration: the packet budget plus a
+// completion channel the poster may wait on. err is written (at most once,
+// by whichever side completes the job) before done is closed. waited marks
+// a job a blocking Recalibrate caller is selecting on: those must be failed
+// at Run exit so the caller unblocks, while fire-and-forget jobs
+// (RequestRecalibration — the fleet scheduler) survive a Run boundary and
+// execute at the next Run's first pass instead of being silently dropped.
+type recalJob struct {
+	n      int
+	done   chan struct{}
+	err    error
+	waited bool
+}
+
 // shard is one long-lived scoring worker: it owns a subset of the links
 // (assigned round-robin by registration order at Run start), a scratch, and
 // nothing else — every per-window buffer it touches hangs off its links, so
@@ -112,6 +149,10 @@ type link struct {
 type shard struct {
 	sc    *core.Scratch
 	links []*link
+	// exited (guarded by the engine mutex) marks that this Run's shard
+	// loop has returned: posted recalibrations are rejected from here on,
+	// and the shard drained any already-posted ones on its way out.
+	exited bool
 }
 
 // Engine monitors a fleet of links concurrently.
@@ -237,15 +278,24 @@ func (e *Engine) Calibrate(ctx context.Context, n int) error {
 	if len(links) == 0 {
 		return ErrNoLinks
 	}
-	if n < 2*e.cfg.WindowSize {
-		n = 2 * e.cfg.WindowSize
-	}
-	if n < 50 {
-		n = 50
-	}
+	n = e.normalizeCalPackets(n)
 	return e.forEach(ctx, links, func(ctx context.Context, l *link) error {
-		return e.calibrateLink(ctx, l, n)
+		if err := e.calibrateLink(ctx, l, n); err != nil {
+			return err
+		}
+		clearStaleRecal(l)
+		return nil
 	})
+}
+
+// clearStaleRecal completes a fire-and-forget recalibration left over from a
+// previous Run once an offline rebuild has just made it redundant. Only
+// called from the offline calibration paths (engine not running), so it
+// cannot race a shard execution.
+func clearStaleRecal(l *link) {
+	if job := l.recal.Swap(nil); job != nil {
+		close(job.done)
+	}
 }
 
 // forEach runs fn over links with at most cfg.Workers in flight; it waits
@@ -307,6 +357,19 @@ func (e *Engine) calibrateLink(ctx context.Context, l *link, n int) error {
 	if _, err := det.CalibrateThreshold(null, e.cfg.ThresholdQuantile, e.cfg.ThresholdMargin); err != nil {
 		return err
 	}
+	// A RE-calibration floors the fresh threshold at the link's previous
+	// operational one. The fresh estimate rests on a dozen null windows —
+	// a capture that happens to ride a quiet stretch of the receiver's
+	// slow gain wander produces a threshold the very next minutes alarm
+	// over — while the outgoing threshold distils every null the link has
+	// scored since deployment. Scores are relative statistics (dB-domain
+	// distances), so the old threshold remains meaningful across the gain
+	// steps and baseline shifts that prompted the rebuild.
+	if l.det != nil {
+		if prev := l.det.Threshold(); prev > det.Threshold() {
+			det.SetThreshold(prev)
+		}
+	}
 	meanMu, err := linkMeanMu(cal, l.cfg)
 	if err != nil {
 		return err
@@ -325,7 +388,7 @@ func (e *Engine) calibrateLink(ctx context.Context, l *link, n int) error {
 		l.recycleFrames(cal)
 	}
 	l.det = det
-	l.adapter = adapter
+	l.adapter.Store(adapter)
 	l.meanMu = meanMu
 	health := adapt.Health{}
 	if adapter != nil {
@@ -335,38 +398,167 @@ func (e *Engine) calibrateLink(ctx context.Context, l *link, n int) error {
 	return nil
 }
 
-// Recalibrate rebuilds one link's profile, threshold and (when enabled)
-// adapter from a fresh empty-room capture — the recovery path for a link
-// whose adaptation health reports NeedsRecalibration after a step change
-// (furniture moved, antenna bumped). The caller is asserting the room is
-// empty again, exactly as for the initial Calibrate. Rejected while Run is
-// active.
-func (e *Engine) Recalibrate(ctx context.Context, linkID string, n int) error {
-	e.mu.Lock()
-	if e.running || e.calibrating {
-		e.mu.Unlock()
-		return ErrRunning
-	}
-	e.calibrating = true
-	l, ok := e.byID[linkID]
-	e.mu.Unlock()
-	defer func() {
-		e.mu.Lock()
-		e.calibrating = false
-		e.mu.Unlock()
-	}()
-	if !ok {
-		return fmt.Errorf("%w: %s", ErrUnknownLink, linkID)
-	}
+// normalizeCalPackets raises a calibration packet budget to the floors
+// Calibrate applies (two self-score windows, 50 packets minimum).
+func (e *Engine) normalizeCalPackets(n int) int {
 	if n < 2*e.cfg.WindowSize {
 		n = 2 * e.cfg.WindowSize
 	}
 	if n < 50 {
 		n = 50
 	}
+	return n
+}
+
+// Recalibrate rebuilds one link's profile, threshold and (when enabled)
+// adapter from a fresh empty-room capture — the recovery path for a link
+// whose adaptation health reports NeedsRecalibration after a step change
+// (furniture moved, antenna bumped). The caller is asserting the room is
+// empty again, exactly as for the initial Calibrate.
+//
+// While Run is active the recalibration happens online: the request is
+// posted to the shard that owns the link, which drains the link's stream
+// into profile rebuilding at its next pass — sibling links (on this shard's
+// siblings) keep scoring throughout — and Recalibrate blocks until that
+// rebuild completes or ctx ends. An unknown link returns ErrUnknownLink in
+// every engine state (consistent with ScoreWindow); ErrRunning is returned
+// only when a fleet-wide Calibrate is still in flight, and ErrRecalPending
+// when the link already has an unfinished online recalibration.
+func (e *Engine) Recalibrate(ctx context.Context, linkID string, n int) error {
+	n = e.normalizeCalPackets(n)
+	e.mu.Lock()
+	l, ok := e.byID[linkID]
+	if !ok {
+		e.mu.Unlock()
+		return fmt.Errorf("%w: %s", ErrUnknownLink, linkID)
+	}
+	if e.calibrating {
+		e.mu.Unlock()
+		return ErrRunning
+	}
+	if e.running {
+		if l.shard != nil && l.shard.exited {
+			// The owning shard has already finished this Run (its links met
+			// their quotas or their streams ended): nothing will service the
+			// job, so fail fast instead of blocking until the run ends.
+			e.mu.Unlock()
+			return fmt.Errorf("link %s: owning shard finished this run: %w", linkID, ErrNotRunning)
+		}
+		job := &recalJob{n: n, done: make(chan struct{}), waited: true}
+		posted := l.recal.CompareAndSwap(nil, job)
+		e.mu.Unlock()
+		if !posted {
+			return fmt.Errorf("link %s: %w", linkID, ErrRecalPending)
+		}
+		select {
+		case <-job.done:
+			if job.err != nil {
+				return fmt.Errorf("link %s: %w", linkID, job.err)
+			}
+			return nil
+		case <-ctx.Done():
+			// The job stays posted; the owning shard (or the run-exit sweep)
+			// completes it without this caller.
+			return ctx.Err()
+		}
+	}
+	e.calibrating = true
+	e.mu.Unlock()
+	defer func() {
+		e.mu.Lock()
+		e.calibrating = false
+		e.mu.Unlock()
+	}()
 	if err := e.calibrateLink(ctx, l, n); err != nil {
 		return fmt.Errorf("link %s: %w", linkID, err)
 	}
+	clearStaleRecal(l)
+	return nil
+}
+
+// RequestRecalibration posts an online recalibration without waiting for it:
+// the owning shard rebuilds the link's profile at its next pass, with the
+// outcome observable through the link's published health and metrics. This
+// is the entry point the fleet coordinator schedules staggered fleet
+// recalibrations through. Only valid while Run is active.
+func (e *Engine) RequestRecalibration(linkID string, n int) error {
+	n = e.normalizeCalPackets(n)
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	l, ok := e.byID[linkID]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownLink, linkID)
+	}
+	if !e.running {
+		return fmt.Errorf("link %s: %w", linkID, ErrNotRunning)
+	}
+	if l.shard != nil && l.shard.exited {
+		return fmt.Errorf("link %s: owning shard finished this run: %w", linkID, ErrNotRunning)
+	}
+	if !l.recal.CompareAndSwap(nil, &recalJob{n: n, done: make(chan struct{})}) {
+		return fmt.Errorf("link %s: %w", linkID, ErrRecalPending)
+	}
+	return nil
+}
+
+// RecalibrationPending reports whether linkID has a recalibration posted or
+// executing — the fleet coordinator's staggering signal: the next scheduled
+// rebuild is dispatched only once this turns false for the previous one.
+// Unknown links report false.
+func (e *Engine) RecalibrationPending(linkID string) bool {
+	e.mu.Lock()
+	l, ok := e.byID[linkID]
+	e.mu.Unlock()
+	if !ok {
+		return false
+	}
+	if l.recal.Load() != nil {
+		return true
+	}
+	var snap linkSnap
+	l.state.load(&snap)
+	return snap.Recalibrating
+}
+
+// adapterOf resolves a link's adapter for a fleet-control operation.
+func (e *Engine) adapterOf(linkID string) (*adapt.Adapter, error) {
+	e.mu.Lock()
+	l, ok := e.byID[linkID]
+	e.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownLink, linkID)
+	}
+	ad := l.adapter.Load()
+	if ad == nil {
+		return nil, fmt.Errorf("link %s: %w", linkID, ErrNotAdaptive)
+	}
+	return ad, nil
+}
+
+// SuppressRefresh holds off (or resumes) a link's profile refreshes — the
+// fleet layer raises it while it attributes the link's drift to a localized
+// perturbation (likely a person) that must not be absorbed into the
+// baseline. Safe to call while Run is active; takes effect at the link's
+// next scored window.
+func (e *Engine) SuppressRefresh(linkID string, on bool) error {
+	ad, err := e.adapterOf(linkID)
+	if err != nil {
+		return err
+	}
+	ad.SetRefreshSuppressed(on)
+	return nil
+}
+
+// RelockLink asks a link's adapter to adopt its next window wholesale as the
+// new baseline, clearing any quarantine — the fleet layer's ambient-drift
+// recovery, invoked when correlated evidence across the site shows the shift
+// is environmental rather than human. Safe to call while Run is active.
+func (e *Engine) RelockLink(linkID string) error {
+	ad, err := e.adapterOf(linkID)
+	if err != nil {
+		return err
+	}
+	ad.RequestRelock()
 	return nil
 }
 
@@ -420,10 +612,12 @@ func (e *Engine) ensureShards() {
 	}
 	for _, sh := range e.shards {
 		sh.links = sh.links[:0]
+		sh.exited = false
 	}
 	for i, l := range e.links {
 		sh := e.shards[i%n]
 		sh.links = append(sh.links, l)
+		l.shard = sh
 		if cap(l.win) < e.cfg.WindowSize {
 			l.win = make([]*csi.Frame, 0, e.cfg.WindowSize)
 		}
@@ -468,6 +662,19 @@ func (e *Engine) Run(ctx context.Context, windowsPerLink int) error {
 		e.mu.Lock()
 		e.runNanos.Add(int64(time.Since(e.runStart)))
 		e.running = false
+		// A recalibration a blocking caller is waiting on must fail now so
+		// the caller unblocks; a fire-and-forget job (the fleet scheduler's)
+		// stays posted and executes at the next Run's first pass — dropping
+		// it would silently cancel a scheduled rebuild the coordinator
+		// already counts as dispatched. The shards have all exited by now,
+		// so the swap cannot race an execution in flight.
+		for _, l := range e.links {
+			if job := l.recal.Load(); job != nil && job.waited {
+				l.recal.Store(nil)
+				job.err = fmt.Errorf("run ended before recalibration: %w", ErrNotRunning)
+				close(job.done)
+			}
+		}
 		e.mu.Unlock()
 	}()
 
@@ -511,6 +718,30 @@ func (e *Engine) Run(ctx context.Context, windowsPerLink int) error {
 // state it touches — links' slabs and detectors, the shard scratch — so the
 // steady state runs without locks or allocations.
 func (e *Engine) runShard(ctx context.Context, sh *shard, windowsPerLink int, fail func(error)) {
+	// On the way out, flip the exited flag under the engine mutex and then
+	// drain any recalibration posted before the flip: posters check exited
+	// under the same mutex before posting, so a job is either rejected up
+	// front or guaranteed to be serviced here — never orphaned until the
+	// run-exit sweep while a blocking caller (or the fleet scheduler's
+	// pending slot) waits on it.
+	defer func() {
+		e.mu.Lock()
+		sh.exited = true
+		e.mu.Unlock()
+		// Jobs posted before the flip are either serviced now (the shard
+		// exited because its links met their quotas while the run goes on)
+		// or, when the whole run is ending, left posted for the run-exit
+		// sweep (which unblocks waiting callers) and the next Run's first
+		// pass (which executes the fleet scheduler's fire-and-forget jobs).
+		if ctx.Err() != nil {
+			return
+		}
+		for _, l := range sh.links {
+			if job := l.recal.Load(); job != nil {
+				e.recalibrateOnShard(ctx, l, job)
+			}
+		}
+	}()
 	active := len(sh.links)
 	done := ctx.Done()
 	for active > 0 {
@@ -520,6 +751,18 @@ func (e *Engine) runShard(ctx context.Context, sh *shard, windowsPerLink int, fa
 		default:
 		}
 		for _, l := range sh.links {
+			// A posted recalibration runs here, on the link's owning shard,
+			// so the detector and adapter keep exactly one writer. It
+			// replaces this pass's window for this link only — sibling
+			// links, and every other shard, keep scoring. A link that has
+			// already met its windows quota still honors the request (its
+			// stream is alive and its shard is still driving siblings);
+			// only a shard whose links are ALL done has exited, in which
+			// case the run-exit sweep fails the job explicitly.
+			if job := l.recal.Load(); job != nil {
+				e.recalibrateOnShard(ctx, l, job)
+				continue
+			}
 			if l.done {
 				continue
 			}
@@ -540,6 +783,22 @@ func (e *Engine) runShard(ctx context.Context, sh *shard, windowsPerLink int, fa
 			}
 		}
 	}
+}
+
+// recalibrateOnShard executes one posted recalibration on the link's owning
+// shard: the link's stream is drained into a fresh calibration capture and
+// the detector, adapter and published state are rebuilt in place. While it
+// runs, the link's published state carries the Recalibrating flag, so
+// verdict fusion excludes the link (it has no current opinion) instead of
+// reusing its stale last decision. A failed rebuild keeps the old detector —
+// calibrateLink swaps state in only on success — and reports through the
+// job, never by killing the run.
+func (e *Engine) recalibrateOnShard(ctx context.Context, l *link, job *recalJob) {
+	l.state.setRecalibrating(true)
+	job.err = e.calibrateLink(ctx, l, job.n)
+	l.state.setRecalibrating(false)
+	l.recal.Store(nil)
+	close(job.done)
 }
 
 // tick pulls and scores one window for a link: assemble into the link's
@@ -572,9 +831,10 @@ func (e *Engine) tick(done <-chan struct{}, sh *shard, l *link) (bool, error) {
 	e.framesSeen.Add(uint64(len(l.win)))
 
 	dec, err := l.det.DetectScratch(l.win, sh.sc)
+	adapter := l.adapter.Load()
 	var health adapt.Health
-	if err == nil && l.adapter != nil {
-		health, err = l.adapter.Observe(l.win, dec)
+	if err == nil && adapter != nil {
+		health, err = adapter.Observe(l.win, dec)
 	}
 	l.recycleFrames(l.win)
 	l.win = l.win[:0]
@@ -582,7 +842,7 @@ func (e *Engine) tick(done <-chan struct{}, sh *shard, l *link) (bool, error) {
 		return false, err
 	}
 	threshold := dec.Threshold
-	if l.adapter != nil {
+	if adapter != nil {
 		threshold = health.Threshold
 	}
 	l.state.publishDecision(dec, threshold, health)
@@ -627,14 +887,15 @@ func (e *Engine) ScoreWindow(linkID string, window []*csi.Frame) (core.Decision,
 	if err != nil {
 		return core.Decision{}, err
 	}
+	adapter := l.adapter.Load()
 	var health adapt.Health
-	if l.adapter != nil {
-		if health, err = l.adapter.Observe(window, dec); err != nil {
+	if adapter != nil {
+		if health, err = adapter.Observe(window, dec); err != nil {
 			return core.Decision{}, err
 		}
 	}
 	threshold := dec.Threshold
-	if l.adapter != nil {
+	if adapter != nil {
 		threshold = health.Threshold
 	}
 	l.state.publishDecision(dec, threshold, health)
@@ -679,7 +940,10 @@ func (e *Engine) VerdictInto(v *SiteVerdict) error {
 	}
 	for _, l := range e.links {
 		l.state.load(&snap)
-		if snap.Windows == 0 {
+		if snap.Windows == 0 || snap.Recalibrating {
+			// A recalibrating link has no current opinion: its last decision
+			// predates the rebuild in progress, so fusing it would let a
+			// stale alarm (or a stale all-clear) outlive its baseline.
 			continue
 		}
 		quality := 1.0

@@ -12,6 +12,18 @@ import (
 // scored a window.
 var ErrNoDecisions = errors.New("engine: no link decisions yet")
 
+// ErrAllQuarantined is returned by weight-aware fusion when every link's
+// vote weight is negligible — the whole fleet is quarantined or otherwise
+// written off, so no meaningful site verdict exists. Callers should treat it
+// as "inconclusive: recalibrate the site", never as "absent".
+var ErrAllQuarantined = errors.New("engine: every link vote is negligible")
+
+// MinFusibleWeight is the weight below which a link's vote is considered
+// dead for weighted fusion. Weights this small cannot influence a verdict —
+// fusing them anyway would divide two near-zero sums and report the rounding
+// noise as a confident site verdict.
+const MinFusibleWeight = 1e-6
+
 // LinkDecision pairs a link ID with its latest monitoring decision plus the
 // link's current quality weight and adaptation health.
 type LinkDecision struct {
@@ -149,21 +161,38 @@ func (p WeightedKOfN) Fuse(decisions []LinkDecision) (SiteVerdict, error) {
 	}
 	var totalW, positiveW float64
 	positive := 0
+	fused := 0
+	writtenOff := 0
 	for _, d := range decisions {
+		if d.Health.NeedsRecalibration {
+			writtenOff++
+		}
 		w := d.Weight
 		if w <= 0 {
 			// Unset weight (engine without adaptation metadata, or a
 			// hand-built decision): vote uniformly.
 			w = 1
 		}
+		if w < MinFusibleWeight {
+			// A dead vote: counting it into either sum would only add
+			// rounding noise to the quorum fraction.
+			continue
+		}
+		fused++
 		totalW += w
 		if d.Present {
 			positive++
 			positiveW += w
 		}
 	}
-	if totalW <= 0 {
-		return SiteVerdict{}, fmt.Errorf("weighted fusion with zero total weight: %w", ErrNoDecisions)
+	if fused == 0 || writtenOff == n {
+		// Every link is quarantined (NeedsRecalibration on the whole
+		// fleet) or otherwise weighted to nothing: each remaining vote
+		// comes from a baseline the system itself has declared
+		// untrustworthy, and fusing them anyway would launder that into a
+		// confident verdict. Refuse explicitly — the answer is
+		// "inconclusive: recalibrate the site", not "absent".
+		return SiteVerdict{}, fmt.Errorf("all %d links quarantined or weightless: %w", n, ErrAllQuarantined)
 	}
 	frac := positiveW / totalW
 	// The small epsilon keeps the equal-weight case exactly k-of-n despite

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"testing"
 
+	"mlink/internal/adapt"
 	"mlink/internal/core"
 )
 
@@ -17,6 +18,14 @@ func wdec(id string, present bool, weight float64) LinkDecision {
 		d.Decision.Score = 0.5
 	}
 	d.Weight = weight
+	return d
+}
+
+// recalDec is wdec for a link flagged NeedsRecalibration (the engine floors
+// such links' weights at 0.1 × quality).
+func recalDec(id string, present bool, weight float64) LinkDecision {
+	d := wdec(id, present, weight)
+	d.Health = adapt.Health{State: adapt.StateQuarantined, NeedsRecalibration: true}
 	return d
 }
 
@@ -189,5 +198,85 @@ func TestMaxScore(t *testing.T) {
 	none := []LinkDecision{dec("a", false, 0.4, 1.0)}
 	if v, _ = (MaxScore{}).Fuse(none); v.Present {
 		t.Fatalf("all-negative fleet fused to present: %+v", v)
+	}
+}
+
+// TestWeightedKOfNAllQuarantined pins the degenerate case: when every link's
+// vote weight is negligible (an entirely quarantined or written-off fleet),
+// weighted fusion must refuse with ErrAllQuarantined instead of dividing two
+// near-zero sums into a confident verdict.
+func TestWeightedKOfNAllQuarantined(t *testing.T) {
+	tiny := MinFusibleWeight / 10
+	cases := []struct {
+		name      string
+		decisions []LinkDecision
+		wantErr   error
+		want      bool // Present, when no error expected
+	}{
+		{
+			name:      "all weights negligible",
+			decisions: []LinkDecision{wdec("a", true, tiny), wdec("b", true, tiny), wdec("c", false, tiny)},
+			wantErr:   ErrAllQuarantined,
+		},
+		{
+			name:      "single dead link",
+			decisions: []LinkDecision{wdec("a", true, tiny)},
+			wantErr:   ErrAllQuarantined,
+		},
+		{
+			name:      "one live link decides among dead ones",
+			decisions: []LinkDecision{wdec("a", false, tiny), wdec("b", true, 1), wdec("c", false, tiny)},
+			want:      true,
+		},
+		{
+			name:      "live quiet link keeps the site quiet",
+			decisions: []LinkDecision{wdec("a", true, tiny), wdec("b", false, 1)},
+			want:      false,
+		},
+		{
+			name:      "zero weights are unset, not dead",
+			decisions: []LinkDecision{wdec("a", true, 0), wdec("b", false, 0)},
+			want:      true,
+		},
+		{
+			// The integrated-system shape: engine-built decisions carry the
+			// quarantined 0.1-weight floor, which is well above
+			// MinFusibleWeight — the whole-fleet write-off must be detected
+			// from the health flags, not the weights.
+			name: "whole fleet flagged NeedsRecalibration",
+			decisions: []LinkDecision{
+				recalDec("a", true, 0.1), recalDec("b", true, 0.08), recalDec("c", false, 0.1),
+			},
+			wantErr: ErrAllQuarantined,
+		},
+		{
+			name: "one trustworthy link among written-off ones still decides",
+			decisions: []LinkDecision{
+				recalDec("a", true, 0.1), wdec("b", false, 1), recalDec("c", false, 0.1),
+			},
+			want: false,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			v, err := (WeightedKOfN{K: 1}).Fuse(tc.decisions)
+			if tc.wantErr != nil {
+				if !errors.Is(err, tc.wantErr) {
+					t.Fatalf("err = %v, want %v", err, tc.wantErr)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("unexpected error: %v", err)
+			}
+			if v.Present != tc.want {
+				t.Fatalf("present = %v, want %v (verdict %+v)", v.Present, tc.want, v)
+			}
+		})
+	}
+	// ErrAllQuarantined is not ErrNoDecisions: callers distinguish "nothing
+	// fused yet" from "fleet written off".
+	if errors.Is(ErrAllQuarantined, ErrNoDecisions) {
+		t.Fatal("ErrAllQuarantined must be distinct from ErrNoDecisions")
 	}
 }

@@ -26,6 +26,9 @@ type LinkMetrics struct {
 	Present bool
 	// Adaptive reports whether the link runs an adaptation loop.
 	Adaptive bool
+	// Recalibrating reports an online recalibration in progress on the
+	// link's owning shard (the link is excluded from fusion until it ends).
+	Recalibrating bool
 	// Health is the link's adaptation snapshot (zero value when Adaptive is
 	// false).
 	Health adapt.Health
@@ -82,6 +85,7 @@ func (e *Engine) MetricsInto(m *Metrics) {
 			LastScore:     snap.Last.Score,
 			Present:       snap.Last.Present,
 			Adaptive:      snap.Adaptive,
+			Recalibrating: snap.Recalibrating,
 			Health:        snap.Health,
 		}
 		if snap.Windows > 0 {

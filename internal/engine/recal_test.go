@@ -1,0 +1,284 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"mlink/internal/adapt"
+	"mlink/internal/csi"
+)
+
+// TestRecalibrateTypedErrors pins the error contract shared with
+// ScoreWindow: an unknown link is ErrUnknownLink in EVERY engine state —
+// including while Run is active — and a Recalibrate that collides with a
+// fleet-wide Calibrate is ErrRunning.
+func TestRecalibrateTypedErrors(t *testing.T) {
+	e := New(Config{Workers: 2, WindowSize: 25})
+	_, cfg1, src1 := buildLink(t, 2, 11)
+	_, cfg2, src2 := buildLink(t, 3, 12)
+	if err := e.AddLink("a", cfg1, src1); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.AddLink("b", cfg2, src2); err != nil {
+		t.Fatal(err)
+	}
+
+	// Idle engine, unknown link.
+	if err := e.Recalibrate(context.Background(), "nope", 60); !errors.Is(err, ErrUnknownLink) {
+		t.Fatalf("idle unknown-link err = %v", err)
+	}
+	// Not running: a non-blocking request has nowhere to go.
+	if err := e.RequestRecalibration("a", 60); !errors.Is(err, ErrNotRunning) {
+		t.Fatalf("request while stopped err = %v", err)
+	}
+
+	if err := e.Calibrate(context.Background(), 60); err != nil {
+		t.Fatal(err)
+	}
+
+	// While Run is active: unknown link still reports ErrUnknownLink, never
+	// ErrRunning (consistent with ScoreWindow's check order).
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan error, 1)
+	go func() { done <- e.Run(ctx, 0) }()
+	waitRunning(t, e)
+	if err := e.Recalibrate(ctx, "nope", 60); !errors.Is(err, ErrUnknownLink) {
+		t.Fatalf("running unknown-link err = %v", err)
+	}
+	if err := e.RequestRecalibration("nope", 60); !errors.Is(err, ErrUnknownLink) {
+		t.Fatalf("running request unknown-link err = %v", err)
+	}
+	cancel()
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+
+	// While a fleet Calibrate is in flight: ErrRunning. The calibration is
+	// held open by a gate on the source.
+	e2 := New(Config{Workers: 1, WindowSize: 25})
+	gate := make(chan struct{})
+	release := make(chan struct{})
+	_, cfg3, src3 := buildLink(t, 4, 13)
+	first := true
+	if err := e2.AddLink("g", cfg3, SourceFunc(func() (*csi.Frame, error) {
+		if first {
+			first = false
+			close(gate)
+			<-release
+		}
+		return src3.Next()
+	})); err != nil {
+		t.Fatal(err)
+	}
+	calDone := make(chan error, 1)
+	go func() { calDone <- e2.Calibrate(context.Background(), 60) }()
+	<-gate
+	if err := e2.Recalibrate(context.Background(), "g", 60); !errors.Is(err, ErrRunning) {
+		t.Fatalf("recalibrate during calibrate err = %v", err)
+	}
+	close(release)
+	if err := <-calDone; err != nil {
+		t.Fatal(err)
+	}
+}
+
+// waitRunning spins until Run has flipped the engine into its running state.
+func waitRunning(t *testing.T, e *Engine) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		e.mu.Lock()
+		running := e.running
+		e.mu.Unlock()
+		if running {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("engine never started running")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestOnlineRecalibration is the acceptance check for during-Run
+// recalibration: with two links on two shards, recalibrating one must
+// complete while Run stays active, without stopping the sibling (it keeps
+// scoring throughout) and while resetting the recalibrated link's adaptation
+// state.
+func TestOnlineRecalibration(t *testing.T) {
+	pol := adapt.Policy{}
+	e := New(Config{Workers: 2, WindowSize: 25, Adaptation: &pol})
+	_, cfg1, src1 := buildLink(t, 2, 21)
+	_, cfg2, src2 := buildLink(t, 3, 22)
+	if err := e.AddLink("target", cfg1, src1); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.AddLink("sibling", cfg2, src2); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Calibrate(context.Background(), 100); err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	runDone := make(chan error, 1)
+	go func() { runDone <- e.Run(ctx, 0) }()
+	waitRunning(t, e)
+
+	windowsOf := func(id string) uint64 {
+		var m Metrics
+		e.MetricsInto(&m)
+		for _, lm := range m.PerLink {
+			if lm.ID == id {
+				return lm.WindowsScored
+			}
+		}
+		t.Fatalf("link %s missing from metrics", id)
+		return 0
+	}
+	// Let both links score a few windows first.
+	for windowsOf("target") < 3 || windowsOf("sibling") < 3 {
+		time.Sleep(time.Millisecond)
+	}
+
+	siblingBefore := windowsOf("sibling")
+	targetBefore := windowsOf("target")
+	if err := e.Recalibrate(ctx, "target", 100); err != nil {
+		t.Fatalf("online recalibrate: %v", err)
+	}
+	// Run must still be active, and both links must keep scoring on their
+	// rebuilt / untouched baselines.
+	select {
+	case err := <-runDone:
+		t.Fatalf("run ended during online recalibration: %v", err)
+	default:
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for windowsOf("sibling") <= siblingBefore || windowsOf("target") <= targetBefore {
+		if time.Now().After(deadline) {
+			t.Fatalf("links stalled after recal: sibling %d→%d target %d→%d",
+				siblingBefore, windowsOf("sibling"), targetBefore, windowsOf("target"))
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// The rebuilt adapter starts from scratch.
+	var m Metrics
+	e.MetricsInto(&m)
+	for _, lm := range m.PerLink {
+		if lm.ID == "target" {
+			if !lm.Adaptive {
+				t.Fatal("target lost its adapter")
+			}
+			if lm.Health.NeedsRecalibration {
+				t.Fatal("fresh recalibration still flags NeedsRecalibration")
+			}
+		}
+	}
+
+	// A second request on a link with one already pending is
+	// ErrRecalPending.
+	if err := e.RequestRecalibration("target", 100); err != nil {
+		t.Fatalf("request: %v", err)
+	}
+	if err := e.RequestRecalibration("target", 100); !errors.Is(err, ErrRecalPending) {
+		t.Fatalf("duplicate request err = %v", err)
+	}
+
+	cancel()
+	if err := <-runDone; err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRequestedRecalSurvivesRunBoundary: a fire-and-forget recalibration
+// posted too late for its shard to pick up must NOT be dropped at Run exit —
+// it stays pending and executes at the next Run's first pass (the fleet
+// scheduler counts it as dispatched and never re-enqueues it).
+func TestRequestedRecalSurvivesRunBoundary(t *testing.T) {
+	pol := adapt.Policy{}
+	e := New(Config{Workers: 1, WindowSize: 25, Adaptation: &pol})
+	_, cfg, src := buildLink(t, 2, 31)
+	started := make(chan struct{})
+	release := make(chan struct{})
+	var once, gated bool
+	if err := e.AddLink("l", cfg, SourceFunc(func() (*csi.Frame, error) {
+		if gated {
+			if !once {
+				once = true
+				close(started)
+			}
+			<-release
+		}
+		return src.Next()
+	})); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Calibrate(context.Background(), 100); err != nil {
+		t.Fatal(err)
+	}
+
+	// Gate the source so the shard parks inside a window pull; post the
+	// request while it is parked, then cancel — the job is provably never
+	// picked up before the run exits.
+	gated = true
+	ctx, cancel := context.WithCancel(context.Background())
+	runDone := make(chan error, 1)
+	go func() { runDone <- e.Run(ctx, 0) }()
+	<-started
+	if err := e.RequestRecalibration("l", 100); err != nil {
+		t.Fatal(err)
+	}
+	cancel()
+	close(release)
+	if err := <-runDone; err != nil {
+		t.Fatal(err)
+	}
+	if !e.RecalibrationPending("l") {
+		t.Fatal("fire-and-forget recalibration dropped at run exit")
+	}
+
+	// The next Run services it before scoring.
+	gated = false
+	if err := e.Run(context.Background(), 1); err != nil {
+		t.Fatal(err)
+	}
+	if e.RecalibrationPending("l") {
+		t.Fatal("carried-over recalibration never executed")
+	}
+	var m Metrics
+	e.MetricsInto(&m)
+	if !m.PerLink[0].Calibrated || m.PerLink[0].Health.NeedsRecalibration {
+		t.Fatalf("link unhealthy after carried-over recal: %+v", m.PerLink[0])
+	}
+
+	// An offline rebuild clears a stale pending job instead of letting it
+	// re-run on the next Run.
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	runDone2 := make(chan error, 1)
+	gated = true
+	once = false
+	started = make(chan struct{})
+	release = make(chan struct{})
+	go func() { runDone2 <- e.Run(ctx2, 0) }()
+	<-started
+	if err := e.RequestRecalibration("l", 100); err != nil {
+		t.Fatal(err)
+	}
+	cancel2()
+	close(release)
+	if err := <-runDone2; err != nil {
+		t.Fatal(err)
+	}
+	gated = false
+	if err := e.Recalibrate(context.Background(), "l", 100); err != nil {
+		t.Fatal(err)
+	}
+	if e.RecalibrationPending("l") {
+		t.Fatal("offline rebuild left a stale job pending")
+	}
+}

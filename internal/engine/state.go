@@ -13,12 +13,16 @@ import (
 type linkSnap struct {
 	Calibrated bool
 	Adaptive   bool
-	MeanMu     float64
-	Threshold  float64
-	Windows    uint64
-	ScoreSum   float64
-	Last       core.Decision
-	Health     adapt.Health
+	// Recalibrating is set while an online recalibration is rebuilding the
+	// link's baseline on its owning shard; fusion excludes the link until
+	// the rebuild lands.
+	Recalibrating bool
+	MeanMu        float64
+	Threshold     float64
+	Windows       uint64
+	ScoreSum      float64
+	Last          core.Decision
+	Health        adapt.Health
 }
 
 // linkState atomically publishes linkSnap values through a sequence lock
@@ -33,6 +37,7 @@ type linkState struct {
 	seq        atomic.Uint64
 	calibrated atomic.Bool
 	adaptive   atomic.Bool
+	recal      atomic.Bool
 	meanMu     atomic.Uint64
 	threshold  atomic.Uint64 // current decision threshold
 	decThr     atomic.Uint64 // threshold the last decision was made against
@@ -52,6 +57,13 @@ func (st *linkState) publishCalibration(meanMu, threshold float64, adaptive bool
 	st.meanMu.Store(math.Float64bits(meanMu))
 	st.threshold.Store(math.Float64bits(threshold))
 	st.health.Store(h)
+	st.seq.Add(1)
+}
+
+// setRecalibrating marks (or clears) an online recalibration in progress.
+func (st *linkState) setRecalibrating(on bool) {
+	st.seq.Add(1)
+	st.recal.Store(on)
 	st.seq.Add(1)
 }
 
@@ -79,12 +91,13 @@ func (st *linkState) load(dst *linkSnap) {
 			continue
 		}
 		*dst = linkSnap{
-			Calibrated: st.calibrated.Load(),
-			Adaptive:   st.adaptive.Load(),
-			MeanMu:     math.Float64frombits(st.meanMu.Load()),
-			Threshold:  math.Float64frombits(st.threshold.Load()),
-			Windows:    st.windows.Load(),
-			ScoreSum:   math.Float64frombits(st.scoreSum.Load()),
+			Calibrated:    st.calibrated.Load(),
+			Adaptive:      st.adaptive.Load(),
+			Recalibrating: st.recal.Load(),
+			MeanMu:        math.Float64frombits(st.meanMu.Load()),
+			Threshold:     math.Float64frombits(st.threshold.Load()),
+			Windows:       st.windows.Load(),
+			ScoreSum:      math.Float64frombits(st.scoreSum.Load()),
 			Last: core.Decision{
 				Present:   st.present.Load(),
 				Score:     math.Float64frombits(st.score.Load()),

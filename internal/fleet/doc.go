@@ -1,0 +1,33 @@
+// Package fleet is the cross-link coordination layer above the engine: it
+// turns the paper's spatial argument — a person perturbs the few links whose
+// Fresnel zones they cut, while environmental change moves many links at
+// once — into a running state machine over the whole site.
+//
+// Each fusion tick the Coordinator digests every link's adaptation health
+// and structured drift evidence (signed drift z, fast per-score z, the
+// step-vs-walk jump discriminator) and classifies the fleet:
+//
+//	quiet        nothing drifting                → no action
+//	localized    few links perturbed             → suppress refresh on them
+//	                                               (don't absorb the person)
+//	ambient      majority drifting, same sign    → clear quarantines, relock
+//	                                               baselines, schedule a
+//	                                               staggered recalibration
+//	step-change  quarantined minority, site      → recalibrate just those
+//	             verdict-silent long enough        links
+//
+// The actions run through the engine's lock-free per-link controls
+// (SuppressRefresh, RelockLink, RequestRecalibration), so coordination never
+// blocks the scoring shards; scheduled recalibrations execute online, one
+// link at a time, on each link's owning shard while its siblings keep
+// scoring.
+//
+// Store adds durability: it snapshots every link's adapted state (profile
+// fingerprints, threshold, rolling drift windows) through the engine's
+// versioned binary records, so a restarted daemon resumes from the walked
+// baseline instead of recalibrating a live site from scratch.
+//
+// RASID (Kosba et al.) motivates the silent-period re-estimation schedule;
+// Kaltiokallio et al.'s multi-scale spatial model motivates the
+// few-versus-many disambiguation.
+package fleet

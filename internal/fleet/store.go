@@ -1,0 +1,111 @@
+package fleet
+
+import (
+	"errors"
+	"fmt"
+	"net/url"
+	"os"
+	"path/filepath"
+
+	"mlink/internal/engine"
+)
+
+// Store persists per-link engine records under one directory — the piece
+// that makes adaptation durable: a daemon that dies and restarts Loads the
+// walked baselines back instead of recalibrating a live site from scratch.
+// One file per link, named by the URL-escaped link ID, so records survive
+// fleet membership changes independently of one another.
+type Store struct {
+	// Dir is the snapshot directory (created on first Save).
+	Dir string
+}
+
+// recordExt is the link-record file extension.
+const recordExt = ".mlprofile"
+
+// path returns the record file for a link ID.
+func (s Store) path(linkID string) string {
+	return filepath.Join(s.Dir, url.PathEscape(linkID)+recordExt)
+}
+
+// Save snapshots every calibrated link of the engine into the store,
+// overwriting previous records, and returns the IDs written. Uncalibrated
+// links are skipped (there is nothing to persist yet). Rejected while the
+// engine runs — stop (or don't start) monitoring around a checkpoint.
+func (s Store) Save(eng *engine.Engine) ([]string, error) {
+	if s.Dir == "" {
+		return nil, errors.New("fleet: store has no directory")
+	}
+	if err := os.MkdirAll(s.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("fleet store: %w", err)
+	}
+	var saved []string
+	for _, id := range eng.Links() {
+		record, err := eng.ExportLink(id)
+		if errors.Is(err, engine.ErrNotCalibrated) {
+			continue
+		}
+		if err != nil {
+			return saved, fmt.Errorf("fleet store: %w", err)
+		}
+		if err := writeFileAtomic(s.path(id), record); err != nil {
+			return saved, fmt.Errorf("fleet store %s: %w", id, err)
+		}
+		saved = append(saved, id)
+	}
+	return saved, nil
+}
+
+// writeFileAtomic writes via a same-directory temp file and rename, so a
+// crash mid-save leaves the previous intact record rather than a truncated
+// one that would hard-fail the next startup's Load.
+func writeFileAtomic(path string, data []byte) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Chmod(tmp.Name(), 0o644); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return nil
+}
+
+// Load restores every registered link that has a record in the store and
+// returns the IDs restored. Links without a record are left untouched —
+// calibrate them with Engine.CalibrateMissing afterwards. A record that
+// exists but cannot be decoded is an error: silently recalibrating over a
+// corrupt snapshot would hide the corruption.
+func (s Store) Load(eng *engine.Engine) ([]string, error) {
+	if s.Dir == "" {
+		return nil, errors.New("fleet: store has no directory")
+	}
+	var restored []string
+	for _, id := range eng.Links() {
+		record, err := os.ReadFile(s.path(id))
+		if errors.Is(err, os.ErrNotExist) {
+			continue
+		}
+		if err != nil {
+			return restored, fmt.Errorf("fleet store: %w", err)
+		}
+		if err := eng.ImportLink(id, record); err != nil {
+			return restored, fmt.Errorf("fleet store: %w", err)
+		}
+		restored = append(restored, id)
+	}
+	return restored, nil
+}

@@ -37,6 +37,14 @@ const (
 	// the case online EWMA adaptation cannot absorb and quarantine +
 	// recalibration must catch.
 	DriftFurnitureMove
+	// DriftAmbient is a correlated receiver-chain event: a slow thermal
+	// gain walk plus an AGC re-lock step of StepDB at StepAtPacket. Applied
+	// with the same preset to every link of a site it models the
+	// environmental change that shifts MANY links at once and in the same
+	// direction — the disambiguation test bed for the fleet coordination
+	// layer (a person can only cut the Fresnel zones of a few links; a
+	// temperature or gain event moves all of them together).
+	DriftAmbient
 )
 
 // String names the drift kind.
@@ -50,6 +58,8 @@ func (k DriftKind) String() string {
 		return "cfo-walk"
 	case DriftFurnitureMove:
 		return "furniture-move"
+	case DriftAmbient:
+		return "ambient"
 	default:
 		return fmt.Sprintf("driftkind(%d)", int(k))
 	}
@@ -67,8 +77,11 @@ type DriftPreset struct {
 	// PhaseRadPerPacket is the per-packet common oscillator phase creep
 	// (DriftCFOWalk).
 	PhaseRadPerPacket float64
-	// StepAtPacket is when the furniture moves (DriftFurnitureMove).
+	// StepAtPacket is when the furniture moves (DriftFurnitureMove) or the
+	// AGC re-locks (DriftAmbient).
 	StepAtPacket int
+	// StepDB is the gain step applied from StepAtPacket on (DriftAmbient).
+	StepDB float64
 	// Obstacle overrides the auto-placed furniture segment; nil places a
 	// metal panel ~1 m lateral of the link midpoint.
 	Obstacle *geom.Segment
@@ -102,6 +115,20 @@ func CFOWalk(stoNsPerMinute, phaseRadPerPacket float64) DriftPreset {
 // appears at the given packet.
 func FurnitureMove(stepAtPacket int) DriftPreset {
 	return DriftPreset{Kind: DriftFurnitureMove, StepAtPacket: stepAtPacket}
+}
+
+// AmbientDrift returns the correlated site-wide preset: a slow gain walk of
+// dbPerMinute plus an AGC re-lock step of stepDB at stepAtPacket. Apply the
+// SAME preset to every link of a site — correlation across links is the
+// point; the streams advance in lockstep, so every link sees the identical
+// gain trajectory against its own noise process.
+func AmbientDrift(dbPerMinute, stepDB float64, stepAtPacket int) DriftPreset {
+	return DriftPreset{
+		Kind:            DriftAmbient,
+		GainDBPerMinute: dbPerMinute,
+		StepDB:          stepDB,
+		StepAtPacket:    stepAtPacket,
+	}
 }
 
 // WithObstacle rebuilds the scenario with one extra interior obstacle — the
@@ -164,7 +191,7 @@ type DriftStream struct {
 // a plain extractor with the same offset see identical impairment draws.
 func (s *Scenario) NewDriftStream(preset DriftPreset, seedOffset int64) (*DriftStream, error) {
 	switch preset.Kind {
-	case DriftNone, DriftGainWalk, DriftCFOWalk, DriftFurnitureMove:
+	case DriftNone, DriftGainWalk, DriftCFOWalk, DriftFurnitureMove, DriftAmbient:
 	default:
 		return nil, fmt.Errorf("unknown drift kind %d: %w", int(preset.Kind), ErrBadScenario)
 	}
@@ -214,13 +241,21 @@ func (d *DriftStream) SetBodies(bodies []body.Body) { d.bodies = bodies }
 // Packets returns how many frames the stream has emitted.
 func (d *DriftStream) Packets() int { return d.n }
 
-// AppliedGainDB reports the gain-walk offset the NEXT frame will receive —
-// how far the baseline has walked so far.
+// AppliedGainDB reports the gain offset the NEXT frame will receive — how
+// far the baseline has walked (and, for the ambient preset, stepped) so far.
 func (d *DriftStream) AppliedGainDB() float64 {
-	if d.preset.Kind != DriftGainWalk {
+	switch d.preset.Kind {
+	case DriftGainWalk:
+		return d.preset.GainDBPerMinute * float64(d.n) / (60 * d.rate)
+	case DriftAmbient:
+		g := d.preset.GainDBPerMinute * float64(d.n) / (60 * d.rate)
+		if d.n >= d.preset.StepAtPacket {
+			g += d.preset.StepDB
+		}
+		return g
+	default:
 		return 0
 	}
-	return d.preset.GainDBPerMinute * float64(d.n) / (60 * d.rate)
 }
 
 // Stepped reports whether the furniture move has happened.
@@ -240,7 +275,7 @@ func (d *DriftStream) Next() (*csi.Frame, error) {
 		return nil, err
 	}
 	switch d.preset.Kind {
-	case DriftGainWalk:
+	case DriftGainWalk, DriftAmbient:
 		gdB := d.AppliedGainDB()
 		g := math.Pow(10, gdB/20)
 		for ant := range f.CSI {

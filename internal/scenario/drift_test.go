@@ -213,3 +213,73 @@ func TestWithObstacleDoesNotMutateOriginal(t *testing.T) {
 		t.Fatalf("obstacle not added: %d walls", len(moved.Env.Room.Walls))
 	}
 }
+
+// TestDriftStreamAmbient: the correlated site-wide preset applies the slow
+// walk everywhere and adds the AGC re-lock step exactly at StepAtPacket, and
+// the applied gain matches AppliedGainDB packet for packet.
+func TestDriftStreamAmbient(t *testing.T) {
+	s := classroom(t)
+	const stepAt = 60
+	stream, err := s.NewDriftStream(AmbientDrift(60, 6, stepAt), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, err := s.NewExtractor(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 120
+	for i := 0; i < n; i++ {
+		wantGainDB := stream.AppliedGainDB()
+		wantWalk := 60 * float64(i) / (60 * s.PacketRate)
+		if i >= stepAt {
+			wantWalk += 6
+		}
+		if math.Abs(wantGainDB-wantWalk) > 1e-12 {
+			t.Fatalf("packet %d: AppliedGainDB %v, want %v", i, wantGainDB, wantWalk)
+		}
+		got, err := stream.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := x.Capture(nil)
+		g := math.Pow(10, wantGainDB/20)
+		for ant := range want.CSI {
+			for k := range want.CSI[ant] {
+				scaled := want.CSI[ant][k] * complex(g, 0)
+				if d := got.CSI[ant][k] - scaled; math.Hypot(real(d), imag(d)) > 1e-9*math.Hypot(real(scaled), imag(scaled))+1e-15 {
+					t.Fatalf("packet %d: ambient gain not applied exactly", i)
+				}
+			}
+			if math.Abs(got.RSSI[ant]-(want.RSSI[ant]+wantGainDB)) > 1e-9 {
+				t.Fatalf("packet %d: RSSI not shifted by %v dB", i, wantGainDB)
+			}
+		}
+		stream.Recycle(got)
+	}
+	// Two streams with the same preset see the same gain trajectory — the
+	// correlation the fleet layer keys on.
+	a, err := s.NewDriftStream(AmbientDrift(60, 6, stepAt), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.NewDriftStream(AmbientDrift(60, 6, stepAt), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 80; i++ {
+		if a.AppliedGainDB() != b.AppliedGainDB() {
+			t.Fatalf("packet %d: streams decorrelated: %v vs %v", i, a.AppliedGainDB(), b.AppliedGainDB())
+		}
+		fa, err := a.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		fb, err := b.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		a.Recycle(fa)
+		b.Recycle(fb)
+	}
+}
