@@ -13,13 +13,16 @@ import (
 	"math/rand"
 	"sync"
 	"testing"
+	"time"
 
+	"mlink/internal/adapt"
 	"mlink/internal/body"
 	"mlink/internal/core"
 	"mlink/internal/csi"
 	"mlink/internal/engine"
 	"mlink/internal/eval"
 	"mlink/internal/experiments"
+	"mlink/internal/fleet"
 	"mlink/internal/geom"
 	"mlink/internal/music"
 	"mlink/internal/propagation"
@@ -493,6 +496,68 @@ func BenchmarkEngineSteadyState(b *testing.B) {
 	if verdicts == 0 {
 		b.Fatal("report loop never fused a verdict")
 	}
+}
+
+// BenchmarkEngineSteadyStateJournal is the steady-state loop with crash-safe
+// persistence attached: every link is adaptive and emits a journal delta for
+// every scored window, the background syncer drains and fsyncs on a 5 ms
+// cadence, and the score path must STILL report 0 allocs/op (cmd/benchcheck
+// enforces this in CI). The adaptation policy disables profile refreshes
+// (refresh rebuilds a profile, which allocates by design) so the measurement
+// isolates the journal path: delta serialization into the shard's reused
+// record buffer, the SPSC buffer handoff, and the syncer's absorb-and-write
+// loop. Compaction is disabled — it rewrites whole files and belongs to
+// shutdown/maintenance, not the steady state.
+func BenchmarkEngineSteadyStateJournal(b *testing.B) {
+	const links = 8
+	s, frames := engineFixture(b)
+	pol := adapt.Policy{SilentFraction: 1e-9, TrackBand: -1}
+	e := engine.New(engine.Config{
+		Workers:    4,
+		WindowSize: 25,
+		Adaptation: &pol,
+	})
+	for i := 0; i < links; i++ {
+		cfg := core.DefaultConfig(s.Grid, core.SchemeSubcarrier, s.Env.RX.Offsets())
+		if err := e.AddLink(fmt.Sprintf("l%d", i), cfg, engine.NewReplaySource(frames, true)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	ctx := context.Background()
+	if err := e.Calibrate(ctx, 60); err != nil {
+		b.Fatal(err)
+	}
+	j, err := fleet.OpenJournal(b.TempDir(), fleet.JournalConfig{
+		SyncEvery:    5 * time.Millisecond,
+		CompactBytes: -1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer j.Close()
+	if err := e.SetJournal(j); err != nil {
+		b.Fatal(err)
+	}
+	// Warm-up: primes slabs and scratches, emits the one-off full records,
+	// and — because a delta embeds the drift monitor's rolling rings — runs
+	// long enough to fill those rings (default 20 windows) plus the null
+	// buffer (32), so the delta record and every reused buffer behind it
+	// reach their steady size before the timer starts.
+	if err := e.Run(ctx, 56); err != nil {
+		b.Fatal(err)
+	}
+	warm := e.Metrics().WindowsScored
+	b.ReportAllocs()
+	b.ResetTimer()
+	if err := e.Run(ctx, b.N); err != nil {
+		b.Fatal(err)
+	}
+	b.StopTimer()
+	if err := j.Err(); err != nil {
+		b.Fatal(err)
+	}
+	scored := float64(e.Metrics().WindowsScored - warm)
+	b.ReportMetric(scored/b.Elapsed().Seconds(), "scores/s")
 }
 
 // BenchmarkDetectorScoreScratch compares the allocating Score path against

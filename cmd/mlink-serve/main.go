@@ -103,6 +103,8 @@ func run() error {
 		adaptOn    = flag.Bool("adapt", false, "enable per-link online adaptation (profile refresh, threshold re-derivation, drift quarantine)")
 		fleetOn    = flag.Bool("fleet", false, "enable cross-link fleet coordination (ambient-drift disambiguation, auto quarantine clearing, staggered online recalibration); implies -adapt")
 		profiles   = flag.String("profiles", "", "profile snapshot directory: restore adapted link baselines at startup and persist them at shutdown")
+		journalDir = flag.String("journal", "", "crash-safe journal directory: restore baselines at startup (recovering from torn tails) and checkpoint continuously while running; supersedes -profiles")
+		journalSyn = flag.Duration("journal-sync", time.Second, "journal fsync cadence — the crash loss window (with -journal)")
 		driftName  = flag.String("drift", "none", "environment drift preset applied to every link: none|gain|cfo|furniture|ambient")
 		driftRate  = flag.Float64("drift-rate", 12, "gain-walk slope in dB/min (for -drift gain|ambient)")
 		driftStep  = flag.Int("drift-step", 600, "furniture-move / ambient-step packet (for -drift furniture|ambient)")
@@ -204,7 +206,15 @@ func run() error {
 
 	start := time.Now()
 	restored := 0
-	if *profiles != "" {
+	switch {
+	case *journalDir != "":
+		ids, err := eng.EnableJournal(*journalDir, mlink.JournalConfig{SyncEvery: *journalSyn})
+		if err != nil {
+			return err
+		}
+		restored = len(ids)
+		fmt.Printf("journal %s: recovered %d/%d link baselines (fsync every %v)\n", *journalDir, restored, *nLinks, *journalSyn)
+	case *profiles != "":
 		ids, err := eng.LoadProfiles(*profiles)
 		if err != nil {
 			return err
@@ -252,7 +262,13 @@ func run() error {
 	}
 	fmt.Printf("final site verdict [%s]: present=%v score=%.3f (%d/%d links positive)\n",
 		v.Policy, v.Present, v.Score, v.Positive, v.Total)
-	if *profiles != "" {
+	switch {
+	case *journalDir != "":
+		if err := eng.CloseJournal(); err != nil {
+			return err
+		}
+		fmt.Printf("journal %s: compacted and closed\n", *journalDir)
+	case *profiles != "":
 		ids, err := eng.SaveProfiles(*profiles)
 		if err != nil {
 			return err

@@ -51,6 +51,9 @@ type (
 	FleetState = fleet.State
 	// FleetReport is one coordination tick's classification and counters.
 	FleetReport = fleet.Report
+	// JournalConfig parameterizes crash-safe online persistence
+	// (EnableJournal): fsync cadence and compaction threshold.
+	JournalConfig = fleet.JournalConfig
 )
 
 // Re-exported fleet classifications.
@@ -120,6 +123,10 @@ type Engine struct {
 	coord        *fleet.Coordinator
 	fleetTicks   int
 	fleetVerdict SiteVerdict
+
+	// journal is the crash-safe online persistence attached by EnableJournal
+	// (nil when journaling is off).
+	journal *fleet.Journal
 }
 
 // phasedSwitch is a source whose occupancy activates once calibration ends.
@@ -227,6 +234,67 @@ func (e *Engine) LoadProfiles(dir string) ([]string, error) {
 		}
 	}
 	return restored, nil
+}
+
+// EnableJournal attaches crash-safe online persistence: dir's journal is
+// opened (recovering from any previous crash — torn tails are detected and
+// truncated), every registered link with journaled state is restored to its
+// last synced window, and from the next Run on the engine streams profile
+// refreshes, threshold re-derivations and drift state into the journal,
+// fsynced on the configured cadence. A daemon killed at any moment resumes
+// its walked baselines bit-for-bit with at most SyncEvery of loss.
+//
+// Returns the IDs restored; follow with CalibrateMissing for links that had
+// no journaled state. Call with the engine stopped, and CloseJournal (or
+// nothing — a crash is the designed-for case) when done. EnableJournal
+// supersedes the manual SaveProfiles/LoadProfiles checkpointing for engines
+// that run continuously.
+func (e *Engine) EnableJournal(dir string, config ...JournalConfig) ([]string, error) {
+	cfg := JournalConfig{}
+	if len(config) > 0 {
+		cfg = config[0]
+	}
+	if e.journal != nil {
+		return nil, fmt.Errorf("mlink journal: already enabled")
+	}
+	j, err := fleet.OpenJournal(dir, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("mlink journal: %w", err)
+	}
+	restored, err := j.Restore(e.eng)
+	if err != nil {
+		j.Close()
+		return restored, fmt.Errorf("mlink journal: %w", err)
+	}
+	if err := e.eng.SetJournal(j); err != nil {
+		j.Close()
+		return restored, fmt.Errorf("mlink journal: %w", err)
+	}
+	for _, id := range restored {
+		if src, ok := e.sourceBy[id]; ok {
+			src.setMonitoring(true)
+		}
+	}
+	e.journal = j
+	return restored, nil
+}
+
+// CloseJournal detaches the journal and compacts it into plain profile
+// snapshots — the clean-shutdown path. The engine must be stopped. A no-op
+// when no journal is enabled.
+func (e *Engine) CloseJournal() error {
+	if e.journal == nil {
+		return nil
+	}
+	if err := e.eng.SetJournal(nil); err != nil {
+		return fmt.Errorf("mlink journal: %w", err)
+	}
+	j := e.journal
+	e.journal = nil
+	if err := j.Close(); err != nil {
+		return fmt.Errorf("mlink journal: %w", err)
+	}
+	return nil
 }
 
 // CalibrateMissing calibrates only the links that are not calibrated yet —

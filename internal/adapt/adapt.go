@@ -220,6 +220,11 @@ type Adapter struct {
 	sinceRederive int
 	lastShiftDB   float64 // previous ProfileShiftDB, for the trend estimate
 
+	// stScratch is reused by the persistence appenders so journal emission
+	// off the Observe path serializes the drift-monitor state without
+	// allocating per record.
+	stScratch core.DriftMonitorState
+
 	// Fleet-layer control requests. Both are set from arbitrary goroutines
 	// (the coordinator) and consumed inside Observe by the single owner, so
 	// the observer's state stays single-writer.

@@ -9,9 +9,14 @@ import (
 
 // adapterMagic marks a serialized adapter snapshot ("MLAD"); adapterVersion
 // tags the layout so an incompatible build rejects instead of misreading.
+// deltaMagic marks a journal delta ("MLDT") — the small absolute record of
+// just the adapter's mutable state, emitted per scored window against a
+// full snapshot base.
 const (
 	adapterMagic   uint32 = 0x4D4C4144
 	adapterVersion uint16 = 1
+	deltaMagic     uint32 = 0x4D4C4454
+	deltaVersion   uint16 = 1
 )
 
 // ErrBadSnapshot reports an adapter snapshot that cannot be decoded. It
@@ -19,39 +24,41 @@ const (
 // corrupt file and a misconfigured policy call for different remediations.
 var ErrBadSnapshot = fmt.Errorf("adapt: bad adapter snapshot (%w)", core.ErrBadInput)
 
-// AppendBinary serializes the adapter's full resumable state — link profile
-// (original and adapted fingerprints), decision threshold and its
-// calibration-time floor, the rolling null buffer, the drift monitor's
-// rolling window, and the health counters — so a restarted daemon resumes
-// from the walked baseline instead of recalibrating from scratch. Call it
-// from the observer's goroutine (or while the link is quiescent), like every
-// other observer-side method.
-func (a *Adapter) AppendBinary(dst []byte) ([]byte, error) {
-	dst = binio.AppendU32(dst, adapterMagic)
-	dst = binio.AppendU16(dst, adapterVersion)
-	lpBlob, err := a.lp.AppendBinary(nil)
-	if err != nil {
-		return nil, fmt.Errorf("adapter profile: %w", err)
+// appendDriftState serializes a drift-monitor state. readDriftState is its
+// exact inverse; full snapshots and deltas share both, so the two formats
+// cannot drift apart when the state grows a field.
+func appendDriftState(dst []byte, st *core.DriftMonitorState) []byte {
+	dst = binio.AppendF64(dst, st.RefMean)
+	dst = binio.AppendF64(dst, st.RefStd)
+	dst = binio.AppendF64s(dst, st.Scores)
+	dst = binio.AppendF64s(dst, st.Jumps)
+	dst = binio.AppendF64(dst, st.Prev)
+	dst = binio.AppendBool(dst, st.HavePrev)
+	dst = binio.AppendU64(dst, st.Seen)
+	dst = binio.AppendI64(dst, int64(st.OverCritical))
+	return binio.AppendBool(dst, st.Latched)
+}
+
+func readDriftState(r *binio.Reader) core.DriftMonitorState {
+	return core.DriftMonitorState{
+		RefMean:      r.F64(),
+		RefStd:       r.F64(),
+		Scores:       r.F64s(),
+		Jumps:        r.F64s(),
+		Prev:         r.F64(),
+		HavePrev:     r.Bool(),
+		Seen:         r.U64(),
+		OverCritical: int(r.I64()),
+		Latched:      r.Bool(),
 	}
-	dst = binio.AppendBytes(dst, lpBlob)
-	dst = binio.AppendF64(dst, a.det.Threshold())
-	dst = binio.AppendF64(dst, a.baseThr)
-	dst = binio.AppendF64s(dst, a.nulls)
-	dst = binio.AppendI64(dst, int64(a.sinceRederive))
-	dst = binio.AppendF64(dst, a.lastShiftDB)
+}
 
-	mon := a.mon.State()
-	dst = binio.AppendF64(dst, mon.RefMean)
-	dst = binio.AppendF64(dst, mon.RefStd)
-	dst = binio.AppendF64s(dst, mon.Scores)
-	dst = binio.AppendF64s(dst, mon.Jumps)
-	dst = binio.AppendF64(dst, mon.Prev)
-	dst = binio.AppendBool(dst, mon.HavePrev)
-	dst = binio.AppendU64(dst, mon.Seen)
-	dst = binio.AppendI64(dst, int64(mon.OverCritical))
-	dst = binio.AppendBool(dst, mon.Latched)
-
-	h := a.health
+// appendHealth serializes the persisted health fields. ProfileShiftDB,
+// Refreshes and Threshold are deliberately absent — they are re-derived
+// from the restored profile and detector, so a record can never disagree
+// with itself — and RefreshSuppressed is a live fleet-control input, not
+// state.
+func appendHealth(dst []byte, h Health) []byte {
 	dst = binio.AppendI64(dst, int64(h.State))
 	dst = binio.AppendF64(dst, h.DriftZ)
 	dst = binio.AppendF64(dst, h.ScoreZ)
@@ -59,8 +66,129 @@ func (a *Adapter) AppendBinary(dst []byte) ([]byte, error) {
 	dst = binio.AppendF64(dst, h.ShiftRateDB)
 	dst = binio.AppendU64(dst, h.ThresholdUpdates)
 	dst = binio.AppendU64(dst, h.Relocks)
-	dst = binio.AppendBool(dst, h.NeedsRecalibration)
-	return dst, nil
+	return binio.AppendBool(dst, h.NeedsRecalibration)
+}
+
+func readHealth(r *binio.Reader) Health {
+	var h Health
+	h.State = State(r.I64())
+	h.DriftZ = r.F64()
+	h.ScoreZ = r.F64()
+	h.JumpExceeded = r.Bool()
+	h.ShiftRateDB = r.F64()
+	h.ThresholdUpdates = r.U64()
+	h.Relocks = r.U64()
+	h.NeedsRecalibration = r.Bool()
+	return h
+}
+
+// appendTail serializes everything after the profile section — threshold,
+// its calibration floor, the rolling nulls, the re-derivation countdown,
+// the walk trend, drift-monitor state and health — shared verbatim by full
+// snapshots and deltas.
+func (a *Adapter) appendTail(dst []byte) []byte {
+	dst = binio.AppendF64(dst, a.det.Threshold())
+	dst = binio.AppendF64(dst, a.baseThr)
+	dst = binio.AppendF64s(dst, a.nulls)
+	dst = binio.AppendI64(dst, int64(a.sinceRederive))
+	dst = binio.AppendF64(dst, a.lastShiftDB)
+	a.mon.StateInto(&a.stScratch)
+	dst = appendDriftState(dst, &a.stScratch)
+	return appendHealth(dst, a.health)
+}
+
+// AppendBinary serializes the adapter's full resumable state — link profile
+// (original and adapted fingerprints), decision threshold and its
+// calibration-time floor, the rolling null buffer, the drift monitor's
+// rolling window, and the health counters — so a restarted daemon resumes
+// from the walked baseline instead of recalibrating from scratch. Call it
+// from the observer's goroutine (or while the link is quiescent), like every
+// other observer-side method. Pure appends into dst (no scratch slices), so
+// a journal emitter with a warmed buffer serializes without allocating.
+func (a *Adapter) AppendBinary(dst []byte) ([]byte, error) {
+	dst = binio.AppendU32(dst, adapterMagic)
+	dst = binio.AppendU16(dst, adapterVersion)
+	dst, mark := binio.ReserveLen(dst)
+	var err error
+	if dst, err = a.lp.AppendBinary(dst); err != nil {
+		return nil, fmt.Errorf("adapter profile: %w", err)
+	}
+	dst = binio.PatchLen(dst, mark)
+	return a.appendTail(dst), nil
+}
+
+// AppendDelta serializes just the adapter's mutable state — the refresh
+// counter and adapted fingerprints, threshold, rolling nulls, drift-monitor
+// window and health — as an absolute (not incremental) journal delta. A
+// restart replays the latest full snapshot and then the latest delta after
+// it; the result is bit-identical to the adapter at the delta's emission
+// (see ApplyDelta). Unlike AppendBinary it omits the calibration original
+// (with its retained frames), so a per-window emission costs kilobytes, not
+// the ~100 KB of a full record. Observer-side, allocation-free like the
+// rest of the Observe path.
+func (a *Adapter) AppendDelta(dst []byte) []byte {
+	dst = binio.AppendU32(dst, deltaMagic)
+	dst = binio.AppendU16(dst, deltaVersion)
+	dst = a.lp.AppendAdaptedBinary(dst)
+	return a.appendTail(dst)
+}
+
+// ApplyDelta replays one AppendDelta blob onto this adapter, replacing its
+// whole mutable state. The adapter must have been restored (or freshly
+// built) from the full record the delta was emitted against: the delta
+// carries no calibration original, so the profile shapes are validated
+// against the one already in place. Everything is parsed and validated
+// before anything is committed — a truncated or corrupt delta leaves the
+// adapter exactly as it was. After a successful apply the adapter's
+// AppendBinary output is bit-identical to the emitting adapter's at the
+// moment the delta was written.
+func (a *Adapter) ApplyDelta(blob []byte) error {
+	r := binio.NewReader(blob)
+	if m := r.U32(); r.Err() == nil && m != deltaMagic {
+		return fmt.Errorf("delta magic %#x: %w", m, ErrBadSnapshot)
+	}
+	if v := r.U16(); r.Err() == nil && v != deltaVersion {
+		return fmt.Errorf("delta version %d (want %d): %w", v, deltaVersion, ErrBadSnapshot)
+	}
+	st, err := core.ReadAdaptedState(r)
+	if err != nil {
+		return fmt.Errorf("delta profile: %w", err)
+	}
+	threshold := r.F64()
+	baseThr := r.F64()
+	nulls := r.F64s()
+	sinceRederive := int(r.I64())
+	lastShiftDB := r.F64()
+	mon := readDriftState(r)
+	h := readHealth(r)
+	if err := r.Done(); err != nil {
+		return fmt.Errorf("delta: %w", err)
+	}
+	monitor, err := core.RestoreDriftMonitor(a.pol.Drift, mon)
+	if err != nil {
+		return fmt.Errorf("delta drift monitor: %w", err)
+	}
+	if err := a.lp.RestoreAdapted(st); err != nil {
+		return fmt.Errorf("delta profile: %w", err)
+	}
+	if err := a.det.SetProfile(a.lp.Current()); err != nil {
+		return fmt.Errorf("delta profile swap: %w", err)
+	}
+	a.det.SetThreshold(threshold)
+	a.baseThr = baseThr
+	if len(nulls) > a.pol.NullWindow {
+		nulls = nulls[len(nulls)-a.pol.NullWindow:]
+	}
+	a.nulls = append(a.nulls[:0], nulls...)
+	a.sinceRederive = sinceRederive
+	a.lastShiftDB = lastShiftDB
+	a.mon = monitor
+	h.ProfileShiftDB = a.lp.ShiftDB()
+	h.Refreshes = a.lp.Refreshes()
+	h.Threshold = threshold
+	a.health = h
+	a.pub.publish(a.health)
+	return nil
 }
 
 // Restore rebuilds an adapter — and the detector it drives — from a snapshot
@@ -94,28 +222,8 @@ func Restore(pol Policy, cfg core.Config, blob []byte) (*Adapter, *core.Detector
 	nulls := r.F64s()
 	sinceRederive := int(r.I64())
 	lastShiftDB := r.F64()
-
-	mon := core.DriftMonitorState{
-		RefMean:      r.F64(),
-		RefStd:       r.F64(),
-		Scores:       r.F64s(),
-		Jumps:        r.F64s(),
-		Prev:         r.F64(),
-		HavePrev:     r.Bool(),
-		Seen:         r.U64(),
-		OverCritical: int(r.I64()),
-		Latched:      r.Bool(),
-	}
-
-	var h Health
-	h.State = State(r.I64())
-	h.DriftZ = r.F64()
-	h.ScoreZ = r.F64()
-	h.JumpExceeded = r.Bool()
-	h.ShiftRateDB = r.F64()
-	h.ThresholdUpdates = r.U64()
-	h.Relocks = r.U64()
-	h.NeedsRecalibration = r.Bool()
+	mon := readDriftState(r)
+	h := readHealth(r)
 	if err := r.Done(); err != nil {
 		return nil, nil, fmt.Errorf("restore: %w", err)
 	}

@@ -8,6 +8,12 @@
 // IEEE 754 bit patterns, so round trips are exact — the persistence layer's
 // "restored links score within 1e-9" guarantee actually holds bit-for-bit at
 // this level.
+//
+// journal.go adds the append-only framing under the fleet layer's
+// write-ahead journal: a versioned file header plus length-framed,
+// CRC-32C'd records, and a ScanJournal recovery primitive that walks a
+// possibly torn file and reports the clean prefix — every byte a crashed
+// writer managed to make durable, and nothing it didn't.
 package binio
 
 import (
@@ -132,6 +138,15 @@ func (r *Reader) I64() int64 { return int64(r.U64()) }
 
 // F64 reads an IEEE 754 bit pattern.
 func (r *Reader) F64() float64 { return math.Float64frombits(r.U64()) }
+
+// U8 reads one byte.
+func (r *Reader) U8() uint8 {
+	b := r.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
 
 // Bool reads one byte as a boolean (any non-zero value is true).
 func (r *Reader) Bool() bool {

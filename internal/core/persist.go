@@ -289,6 +289,71 @@ func UnmarshalLinkProfile(b []byte) (*LinkProfile, error) {
 	return lp, nil
 }
 
+// AdaptedState is the mutable slice of a LinkProfile — the refresh counter
+// and the adapted fingerprints, everything that changes between two journal
+// deltas. The immutable calibration original travels only in full records.
+type AdaptedState struct {
+	// Refreshes counts applied EWMA updates (0 means the adapted profile is
+	// still the calibration original).
+	Refreshes uint64
+	// MeanAmp and MeanRSSdB are the adapted fingerprints.
+	MeanAmp, MeanRSSdB [][]float64
+}
+
+// AppendAdaptedBinary serializes the link profile's mutable slice (refresh
+// count plus adapted fingerprints) — the LinkProfile half of a journal
+// delta. Pure appends: given capacity it allocates nothing.
+func (lp *LinkProfile) AppendAdaptedBinary(dst []byte) []byte {
+	dst = binio.AppendU64(dst, lp.refreshes)
+	dst = appendGrid2(dst, lp.cur.MeanAmp)
+	return appendGrid2(dst, lp.cur.MeanRSSdB)
+}
+
+// ReadAdaptedState decodes an AppendAdaptedBinary blob from the reader's
+// current position.
+func ReadAdaptedState(r *binio.Reader) (AdaptedState, error) {
+	var st AdaptedState
+	st.Refreshes = r.U64()
+	var err error
+	if st.MeanAmp, err = readGrid2(r); err != nil {
+		return st, fmt.Errorf("adapted amplitude: %w", err)
+	}
+	if st.MeanRSSdB, err = readGrid2(r); err != nil {
+		return st, fmt.Errorf("adapted rss: %w", err)
+	}
+	return st, nil
+}
+
+// RestoreAdapted replaces the link profile's mutable slice with persisted
+// state, validating the fingerprints against the calibration original's
+// shape first — on any error the profile is left untouched. As in
+// readLinkProfile, a zero refresh count restores cur as the original
+// itself, and an adapted profile shares the original's spectrum-derived
+// fields by reference.
+func (lp *LinkProfile) RestoreAdapted(st AdaptedState) error {
+	if len(st.MeanAmp) != len(lp.orig.MeanAmp) || len(st.MeanAmp[0]) != len(lp.orig.MeanAmp[0]) {
+		return fmt.Errorf("adapted fingerprint %dx%d differs from original %dx%d: %w",
+			len(st.MeanAmp), len(st.MeanAmp[0]), len(lp.orig.MeanAmp), len(lp.orig.MeanAmp[0]), ErrBadSnapshot)
+	}
+	if len(st.MeanRSSdB) != len(st.MeanAmp) || len(st.MeanRSSdB[0]) != len(st.MeanAmp[0]) {
+		return fmt.Errorf("adapted rss %dx%d differs from amplitude %dx%d: %w",
+			len(st.MeanRSSdB), len(st.MeanRSSdB[0]), len(st.MeanAmp), len(st.MeanAmp[0]), ErrBadSnapshot)
+	}
+	if st.Refreshes == 0 {
+		lp.cur = lp.orig
+	} else {
+		lp.cur = &Profile{
+			MeanAmp:        st.MeanAmp,
+			MeanRSSdB:      st.MeanRSSdB,
+			StaticSpectrum: lp.orig.StaticSpectrum,
+			PathWeights:    lp.orig.PathWeights,
+			Frames:         lp.orig.Frames,
+		}
+	}
+	lp.refreshes = st.Refreshes
+	return nil
+}
+
 // DriftMonitorState is the serializable state of a DriftMonitor: reference
 // statistics plus the rolling score window, ordered oldest to newest. It is
 // what the persistence layer stores so a restarted daemon's drift test
@@ -312,18 +377,26 @@ type DriftMonitorState struct {
 
 // State exports the monitor for persistence.
 func (m *DriftMonitor) State() DriftMonitorState {
+	var st DriftMonitorState
+	m.StateInto(&st)
+	return st
+}
+
+// StateInto is State reusing the caller's struct — notably its Scores and
+// Jumps slices — so the journal's per-window delta emission exports the
+// monitor without allocating once the buffers have grown to the window
+// length.
+func (m *DriftMonitor) StateInto(st *DriftMonitorState) {
 	n := m.count()
-	st := DriftMonitorState{
-		RefMean:      m.refMean,
-		RefStd:       m.refStd,
-		Scores:       make([]float64, 0, n),
-		Jumps:        make([]float64, 0, n),
-		Prev:         m.prev,
-		HavePrev:     m.havePrev,
-		Seen:         m.seen,
-		OverCritical: m.overCrit,
-		Latched:      m.latched,
-	}
+	st.RefMean = m.refMean
+	st.RefStd = m.refStd
+	st.Scores = st.Scores[:0]
+	st.Jumps = st.Jumps[:0]
+	st.Prev = m.prev
+	st.HavePrev = m.havePrev
+	st.Seen = m.seen
+	st.OverCritical = m.overCrit
+	st.Latched = m.latched
 	start := 0
 	if m.full {
 		start = m.next
@@ -333,7 +406,6 @@ func (m *DriftMonitor) State() DriftMonitorState {
 		st.Scores = append(st.Scores, m.ring[j])
 		st.Jumps = append(st.Jumps, m.jumps[j])
 	}
-	return st
 }
 
 // RestoreDriftMonitor rebuilds a monitor from persisted state under the given

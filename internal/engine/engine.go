@@ -124,6 +124,12 @@ type link struct {
 	scored int
 	done   bool
 
+	// needFull asks the owning shard to journal a complete link record at
+	// the link's next scored window — set whenever the full state changed
+	// outside the journal's view (calibration, import, journal attach), so
+	// every delta in the journal has a base record ahead of it.
+	needFull bool
+
 	state linkState
 }
 
@@ -149,6 +155,12 @@ type recalJob struct {
 type shard struct {
 	sc    *core.Scratch
 	links []*link
+	// jw is the shard's journal writer (nil when journaling is off) and
+	// jrec its reusable record buffer: emission serializes into jrec and
+	// hands the bytes to jw, which copies before the next tick reuses the
+	// buffer — so steady-state journaling allocates nothing.
+	jw   JournalWriter
+	jrec []byte
 	// exited (guarded by the engine mutex) marks that this Run's shard
 	// loop has returned: posted recalibrations are rejected from here on,
 	// and the shard drained any already-posted ones on its way out.
@@ -167,8 +179,11 @@ type Engine struct {
 	// their entry check): Run must not start while a calibration is still
 	// pulling frames from a link's single-reader source.
 	calibrating bool
-	runStart    time.Time
-	shards      []*shard
+	// journal, when non-nil, supplies per-shard writers that receive every
+	// link's full records and per-window deltas during Run (see SetJournal).
+	journal  JournalSink
+	runStart time.Time
+	shards   []*shard
 
 	windowsScored atomic.Uint64
 	framesSeen    atomic.Uint64
@@ -390,6 +405,7 @@ func (e *Engine) calibrateLink(ctx context.Context, l *link, n int) error {
 	l.det = det
 	l.adapter.Store(adapter)
 	l.meanMu = meanMu
+	l.needFull = true
 	health := adapt.Health{}
 	if adapter != nil {
 		health = adapter.Health()
@@ -613,6 +629,9 @@ func (e *Engine) ensureShards() {
 	for _, sh := range e.shards {
 		sh.links = sh.links[:0]
 		sh.exited = false
+		if e.journal != nil && sh.jw == nil {
+			sh.jw = e.journal.NewWriter()
+		}
 	}
 	for i, l := range e.links {
 		sh := e.shards[i%n]
@@ -718,6 +737,15 @@ func (e *Engine) Run(ctx context.Context, windowsPerLink int) error {
 // state it touches — links' slabs and detectors, the shard scratch — so the
 // steady state runs without locks or allocations.
 func (e *Engine) runShard(ctx context.Context, sh *shard, windowsPerLink int, fail func(error)) {
+	// Registered first so it runs last (after the recal drain below): hand
+	// the shard's buffered journal records to the sink, so the journal's
+	// durable state trails a finished or cancelled run by at most the sync
+	// cadence.
+	defer func() {
+		if sh.jw != nil {
+			sh.jw.Flush()
+		}
+	}()
 	// On the way out, flip the exited flag under the engine mutex and then
 	// drain any recalibration posted before the flip: posters check exited
 	// under the same mutex before posting, so a job is either rejected up
@@ -738,7 +766,7 @@ func (e *Engine) runShard(ctx context.Context, sh *shard, windowsPerLink int, fa
 		}
 		for _, l := range sh.links {
 			if job := l.recal.Load(); job != nil {
-				e.recalibrateOnShard(ctx, l, job)
+				e.recalibrateOnShard(ctx, sh, l, job)
 			}
 		}
 	}()
@@ -760,7 +788,7 @@ func (e *Engine) runShard(ctx context.Context, sh *shard, windowsPerLink int, fa
 			// only a shard whose links are ALL done has exited, in which
 			// case the run-exit sweep fails the job explicitly.
 			if job := l.recal.Load(); job != nil {
-				e.recalibrateOnShard(ctx, l, job)
+				e.recalibrateOnShard(ctx, sh, l, job)
 				continue
 			}
 			if l.done {
@@ -793,12 +821,36 @@ func (e *Engine) runShard(ctx context.Context, sh *shard, windowsPerLink int, fa
 // reusing its stale last decision. A failed rebuild keeps the old detector —
 // calibrateLink swaps state in only on success — and reports through the
 // job, never by killing the run.
-func (e *Engine) recalibrateOnShard(ctx context.Context, l *link, job *recalJob) {
+func (e *Engine) recalibrateOnShard(ctx context.Context, sh *shard, l *link, job *recalJob) {
 	l.state.setRecalibrating(true)
 	job.err = e.calibrateLink(ctx, l, job.n)
 	l.state.setRecalibrating(false)
+	// A successful rebuild is journaled immediately as a full record — the
+	// walked baseline the deltas were building on just got replaced, so a
+	// crash between here and the link's next scored window must not resume
+	// onto the superseded one.
+	if job.err == nil {
+		sh.journalFull(l)
+	}
 	l.recal.Store(nil)
 	close(job.done)
+}
+
+// journalFull serializes a complete link record into the shard's buffer and
+// hands it to the journal writer, clearing the link's needFull mark. A
+// serialization failure keeps the mark so the next scored window retries; a
+// shard without a writer leaves the mark for a future journaled Run.
+func (sh *shard) journalFull(l *link) {
+	if sh.jw == nil {
+		return
+	}
+	rec, err := appendLinkRecord(sh.jrec[:0], l)
+	if err != nil {
+		return
+	}
+	sh.jrec = rec
+	sh.jw.AppendFull(l.id, rec)
+	l.needFull = false
 }
 
 // tick pulls and scores one window for a link: assemble into the link's
@@ -849,6 +901,15 @@ func (e *Engine) tick(done <-chan struct{}, sh *shard, l *link) (bool, error) {
 	e.windowsScored.Add(1)
 	if cb := e.cfg.OnDecision; cb != nil {
 		cb(l.id, dec)
+	}
+	if sh.jw != nil {
+		if l.needFull {
+			sh.journalFull(l)
+		}
+		if adapter != nil {
+			sh.jrec = adapter.AppendDelta(sh.jrec[:0])
+			sh.jw.AppendDelta(l.id, sh.jrec)
+		}
 	}
 	return true, nil
 }

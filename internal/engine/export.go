@@ -42,25 +42,42 @@ func (e *Engine) ExportLink(linkID string) ([]byte, error) {
 	if l.det == nil {
 		return nil, fmt.Errorf("%w: %s", ErrNotCalibrated, linkID)
 	}
-	dst := binio.AppendU32(nil, linkRecordMagic)
-	dst = binio.AppendU16(dst, linkRecordVersion)
-	dst = binio.AppendBytes(dst, []byte(l.id))
-	dst = binio.AppendF64(dst, l.meanMu)
-	adapter := l.adapter.Load()
-	dst = binio.AppendBool(dst, adapter != nil)
-	if adapter != nil {
-		blob, err := adapter.AppendBinary(nil)
-		if err != nil {
-			return nil, fmt.Errorf("link %s: %w", linkID, err)
-		}
-		return binio.AppendBytes(dst, blob), nil
-	}
-	dst = binio.AppendF64(dst, l.det.Threshold())
-	blob, err := l.det.Profile().AppendBinary(nil)
+	record, err := appendLinkRecord(nil, l)
 	if err != nil {
 		return nil, fmt.Errorf("link %s: %w", linkID, err)
 	}
-	return binio.AppendBytes(dst, blob), nil
+	return record, nil
+}
+
+// appendLinkRecord serializes a calibrated link's full record into dst —
+// the one layout shared by ExportLink and the journal's full records, built
+// with reserve-and-patch framing so a shard with a warmed buffer emits
+// without allocating. The caller must hold the link quiescent (the engine
+// mutex offline, shard ownership during Run).
+func appendLinkRecord(dst []byte, l *link) ([]byte, error) {
+	dst = binio.AppendU32(dst, linkRecordMagic)
+	dst = binio.AppendU16(dst, linkRecordVersion)
+	dst = binio.AppendString(dst, l.id)
+	dst = binio.AppendF64(dst, l.meanMu)
+	adapter := l.adapter.Load()
+	dst = binio.AppendBool(dst, adapter != nil)
+	var (
+		mark int
+		err  error
+	)
+	if adapter != nil {
+		dst, mark = binio.ReserveLen(dst)
+		if dst, err = adapter.AppendBinary(dst); err != nil {
+			return nil, err
+		}
+		return binio.PatchLen(dst, mark), nil
+	}
+	dst = binio.AppendF64(dst, l.det.Threshold())
+	dst, mark = binio.ReserveLen(dst)
+	if dst, err = l.det.Profile().AppendBinary(dst); err != nil {
+		return nil, err
+	}
+	return binio.PatchLen(dst, mark), nil
 }
 
 // ImportLink restores a link from a record produced by ExportLink: the
@@ -113,6 +130,7 @@ func (e *Engine) ImportLink(linkID string, record []byte) error {
 		l.det = det
 		l.adapter.Store(adapter)
 		l.meanMu = meanMu
+		l.needFull = true
 		l.state.publishCalibration(meanMu, det.Threshold(), true, adapter.Health())
 		return nil
 	}
@@ -134,7 +152,40 @@ func (e *Engine) ImportLink(linkID string, record []byte) error {
 	l.det = det
 	l.adapter.Store(nil)
 	l.meanMu = meanMu
+	l.needFull = true
 	l.state.publishCalibration(meanMu, threshold, false, adapt.Health{})
+	return nil
+}
+
+// ApplyLinkDelta replays one journal delta (adapt.Adapter.AppendDelta) onto
+// a restored adaptive link, replacing the adapter's whole mutable state —
+// the recovery step that advances an imported full record to the last
+// journaled window. The link must already be calibrated (normally via
+// ImportLink of the full record the delta was emitted against) and
+// adaptive; a corrupt delta leaves the link untouched. Rejected while Run
+// or a calibration is active.
+func (e *Engine) ApplyLinkDelta(linkID string, delta []byte) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	l, ok := e.byID[linkID]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownLink, linkID)
+	}
+	if e.running || e.calibrating {
+		return ErrRunning
+	}
+	if l.det == nil {
+		return fmt.Errorf("%w: %s", ErrNotCalibrated, linkID)
+	}
+	ad := l.adapter.Load()
+	if ad == nil {
+		return fmt.Errorf("link %s: %w", linkID, ErrNotAdaptive)
+	}
+	if err := ad.ApplyDelta(delta); err != nil {
+		return fmt.Errorf("link %s: %w", linkID, err)
+	}
+	h := ad.Health()
+	l.state.publishCalibration(l.meanMu, h.Threshold, true, h)
 	return nil
 }
 

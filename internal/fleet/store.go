@@ -20,6 +20,12 @@ type Store struct {
 	Dir string
 }
 
+// ErrRunning reports a persistence operation attempted while the engine is
+// running (or mid-calibration): snapshots must be quiescent, so stop the
+// engine — or journal online with OpenJournal — instead. Wraps
+// engine.ErrRunning, so callers may test against either sentinel.
+var ErrRunning = fmt.Errorf("fleet: persistence needs a stopped engine (%w)", engine.ErrRunning)
+
 // recordExt is the link-record file extension.
 const recordExt = ".mlprofile"
 
@@ -44,6 +50,9 @@ func (s Store) Save(eng *engine.Engine) ([]string, error) {
 		record, err := eng.ExportLink(id)
 		if errors.Is(err, engine.ErrNotCalibrated) {
 			continue
+		}
+		if errors.Is(err, engine.ErrRunning) {
+			return saved, ErrRunning
 		}
 		if err != nil {
 			return saved, fmt.Errorf("fleet store: %w", err)
@@ -103,6 +112,9 @@ func (s Store) Load(eng *engine.Engine) ([]string, error) {
 			return restored, fmt.Errorf("fleet store: %w", err)
 		}
 		if err := eng.ImportLink(id, record); err != nil {
+			if errors.Is(err, engine.ErrRunning) {
+				return restored, ErrRunning
+			}
 			return restored, fmt.Errorf("fleet store: %w", err)
 		}
 		restored = append(restored, id)

@@ -1,0 +1,140 @@
+package mlink
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestJournalRestartSemantics is the end-to-end crash story at the public
+// API: an adaptive drifting fleet journals while running, the process is
+// killed without any shutdown handshake, and a fresh process pointed at the
+// same directory resumes the walked baselines — adaptation history intact,
+// no spurious presence, and no step-change classification from the restart
+// itself (a resumed baseline must look like the same room, not moved
+// furniture).
+func TestJournalRestartSemantics(t *testing.T) {
+	dir := t.TempDir()
+
+	build := func(onDecision func(string, Decision)) *Engine {
+		eng := NewEngine(EngineConfig{
+			Workers:    2,
+			WindowSize: 25,
+			Fusion:     WeightedKOfN{K: 1},
+			OnDecision: onDecision,
+		})
+		if err := eng.EnableAdaptation(); err != nil {
+			t.Fatal(err)
+		}
+		for i, seed := range []int64{11, 5} {
+			sys, err := NewLinkCaseSystem(i+2, SchemeSubcarrier, seed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := eng.AddDriftLink([]string{"walk1", "walk2"}[i], sys, GainWalkDrift(12)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return eng
+	}
+
+	// First process: calibrate, journal, run until the baselines have
+	// visibly walked, then "die" (no CloseJournal — the crash case).
+	engA := build(nil)
+	if err := engA.Calibrate(150); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := engA.EnableJournal(dir, JournalConfig{SyncEvery: 5 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(restored) != 0 {
+		t.Fatalf("fresh directory restored %v", restored)
+	}
+	if err := engA.EnableFleet(); err != nil {
+		t.Fatal(err)
+	}
+	if err := engA.Run(t.Context(), 14); err != nil {
+		t.Fatal(err)
+	}
+	healthA := map[string]LinkHealth{}
+	for _, lm := range engA.Metrics().PerLink {
+		healthA[lm.ID] = lm.Health
+		if lm.Health.Refreshes == 0 {
+			t.Fatalf("link %s never refreshed — the kill is not mid-drift", lm.ID)
+		}
+		if lm.Health.NeedsRecalibration {
+			t.Fatalf("link %s unhealthy before the kill: %+v", lm.ID, lm.Health)
+		}
+	}
+	// engA is abandoned here with its journal open: a killed process.
+
+	// Second process: same links, same directory. Watch every decision for
+	// resume artifacts — a presence verdict the empty room never caused, a
+	// quarantine, or a fleet step-change classification.
+	var engB *Engine
+	var mu sync.Mutex
+	var present, stepChange, quarantined int
+	probe := func(linkID string, d Decision) {
+		mu.Lock()
+		defer mu.Unlock()
+		if d.Present {
+			present++
+		}
+		for _, lm := range engB.Metrics().PerLink {
+			if lm.Health.NeedsRecalibration {
+				quarantined++
+			}
+		}
+		if fr, ok := engB.FleetReport(); ok && fr.State == FleetStepChange {
+			stepChange++
+		}
+	}
+	engB = build(probe)
+	restored, err = engB.EnableJournal(dir, JournalConfig{SyncEvery: 5 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(restored) != 2 {
+		t.Fatalf("restored %v, want both links", restored)
+	}
+	for _, lm := range engB.Metrics().PerLink {
+		prev := healthA[lm.ID]
+		if lm.Health.Refreshes != prev.Refreshes {
+			t.Fatalf("link %s resumed with %d refreshes, the killed process had %d",
+				lm.ID, lm.Health.Refreshes, prev.Refreshes)
+		}
+		if lm.Health.ThresholdUpdates != prev.ThresholdUpdates {
+			t.Fatalf("link %s resumed with %d threshold updates, want %d",
+				lm.ID, lm.Health.ThresholdUpdates, prev.ThresholdUpdates)
+		}
+		if lm.Health.State == HealthUnknown {
+			t.Fatalf("link %s resumed without health state", lm.ID)
+		}
+	}
+	if err := engB.EnableFleet(); err != nil {
+		t.Fatal(err)
+	}
+	if err := engB.Run(t.Context(), 12); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if present != 0 {
+		t.Errorf("%d spurious presence decisions after resume", present)
+	}
+	if quarantined != 0 {
+		t.Errorf("%d post-resume decisions flagged recalibration", quarantined)
+	}
+	if stepChange != 0 {
+		t.Errorf("fleet classified the resume as a step change %d times", stepChange)
+	}
+	for _, lm := range engB.Metrics().PerLink {
+		if lm.Health.Refreshes < healthA[lm.ID].Refreshes {
+			t.Errorf("link %s lost refresh history across the restart", lm.ID)
+		}
+	}
+	if err := engB.CloseJournal(); err != nil {
+		t.Fatal(err)
+	}
+}
