@@ -28,6 +28,7 @@ import (
 	"mlink/internal/propagation"
 	"mlink/internal/sanitize"
 	"mlink/internal/scenario"
+	"mlink/internal/supervise"
 )
 
 // Shared heavyweight fixtures, built once per bench binary.
@@ -481,6 +482,81 @@ func BenchmarkEngineSteadyState(b *testing.B) {
 		b.Fatal(err)
 	}
 	// Warm-up: primes slabs, scratches and the report loop's buffers.
+	if err := e.Run(ctx, 2); err != nil {
+		b.Fatal(err)
+	}
+	warm := e.Metrics().WindowsScored
+	b.ReportAllocs()
+	b.ResetTimer()
+	if err := e.Run(ctx, b.N); err != nil {
+		b.Fatal(err)
+	}
+	b.StopTimer()
+	scored := float64(e.Metrics().WindowsScored - warm)
+	b.ReportMetric(scored/b.Elapsed().Seconds(), "scores/s")
+	if verdicts == 0 {
+		b.Fatal("report loop never fused a verdict")
+	}
+}
+
+// BenchmarkEngineSteadyStateSupervised is the steady-state loop with link
+// supervision enabled: every source sits behind its per-link supervisor —
+// a producer goroutine feeding a bounded SPSC ring the shard drains
+// non-blockingly, plus a watcher ticking the staleness ladder — and the
+// score path must STILL report 0 allocs/op (cmd/benchcheck enforces this
+// in CI). The replay sources never stall or error here, so the measurement
+// isolates the supervision overhead every healthy link pays forever: the
+// ring handoff, the lifecycle/heartbeat bookkeeping, and the health
+// weighting in fusion. The per-Run setup (supervisor goroutines, tickers)
+// amortizes to zero over the ≥100 timed ops CI's precise pass uses.
+func BenchmarkEngineSteadyStateSupervised(b *testing.B) {
+	const links = 8
+	s, frames := engineFixture(b)
+	var (
+		reportMu sync.Mutex
+		decided  int
+		verdict  engine.SiteVerdict
+		metrics  engine.Metrics
+		ids      []string
+		verdicts uint64
+		e        *engine.Engine
+	)
+	e = engine.New(engine.Config{
+		Workers:    4,
+		WindowSize: 25,
+		Fusion:     engine.KOfN{K: 1},
+		OnDecision: func(string, core.Decision) {
+			reportMu.Lock()
+			defer reportMu.Unlock()
+			decided++
+			if decided%links != 0 {
+				return
+			}
+			if err := e.VerdictInto(&verdict); err != nil {
+				b.Error(err)
+			}
+			e.MetricsInto(&metrics)
+			ids = e.LinksInto(ids)
+			verdicts++
+		},
+	})
+	// Default policy: generous staleness thresholds keep the watcher ticker
+	// cold relative to the scoring cadence, as a production deployment would.
+	suppol := supervise.Policy{}
+	if err := e.SetSupervision(&suppol); err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < links; i++ {
+		cfg := core.DefaultConfig(s.Grid, core.SchemeSubcarrier, s.Env.RX.Offsets())
+		if err := e.AddLink(fmt.Sprintf("l%d", i), cfg, engine.NewReplaySource(frames, true)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	ctx := context.Background()
+	if err := e.Calibrate(ctx, 60); err != nil {
+		b.Fatal(err)
+	}
+	// Warm-up: primes slabs, scratches, report buffers, and the rings.
 	if err := e.Run(ctx, 2); err != nil {
 		b.Fatal(err)
 	}

@@ -13,12 +13,21 @@
 // online recalibration), and -profiles makes the adapted baselines durable
 // across daemon restarts.
 //
+// -supervise puts every link's source behind a supervisor (bounded ingest
+// ring, Live/Stale/Down/Recovering lifecycle, jittered-backoff reconnects):
+// a stalled or dead source degrades only its own link's coverage while the
+// rest of the fleet keeps scoring, and the daemon keeps serving the
+// remaining links when one source errors out. -chaos injects a deterministic
+// fault schedule into one link (-chaos-link) to watch the degradation and
+// recovery live.
+//
 // Usage:
 //
 //	mlink-serve -links 5 -scheme subcarrier -workers 4 -windows 8 -occupied 3
 //	mlink-serve -links 3 -adapt -drift gain -drift-rate 12 -windows 40 -fusion weighted
 //	mlink-serve -links 5 -fleet -drift ambient -drift-rate 2 -drift-step 900 -windows 60
 //	mlink-serve -links 5 -fleet -profiles /var/lib/mlink/profiles -windows 0
+//	mlink-serve -links 5 -supervise -chaos flap -chaos-link 2 -windows 40
 package main
 
 import (
@@ -68,6 +77,27 @@ func fusionOf(name string, k int) (mlink.FusionPolicy, error) {
 	}
 }
 
+func chaosOf(name string) (mlink.ChaosConfig, bool, error) {
+	switch name {
+	case "", "none":
+		return mlink.ChaosConfig{}, false, nil
+	case "stall":
+		return mlink.ChaosConfig{StallEvery: 200, StallFor: 2 * time.Second}, true, nil
+	case "drip":
+		return mlink.ChaosConfig{DripEvery: 1, DripDelay: 20 * time.Millisecond}, true, nil
+	case "eof":
+		return mlink.ChaosConfig{EOFEvery: 300}, true, nil
+	case "flap":
+		return mlink.ChaosConfig{FailEvery: 250, FailConnects: 3}, true, nil
+	case "drop":
+		return mlink.ChaosConfig{DropEvery: 100, DropBurst: 40}, true, nil
+	case "torn":
+		return mlink.ChaosConfig{TornEvery: 300}, true, nil
+	default:
+		return mlink.ChaosConfig{}, false, fmt.Errorf("unknown chaos %q (none|stall|drip|eof|flap|drop|torn)", name)
+	}
+}
+
 func driftOf(name string, gainRate float64, stepAt int) (mlink.DriftPreset, bool, error) {
 	switch name {
 	case "", "none":
@@ -109,6 +139,13 @@ func run() error {
 		driftRate  = flag.Float64("drift-rate", 12, "gain-walk slope in dB/min (for -drift gain|ambient)")
 		driftStep  = flag.Int("drift-step", 600, "furniture-move / ambient-step packet (for -drift furniture|ambient)")
 		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060) for live CPU/heap profiles")
+		superOn    = flag.Bool("supervise", false, "supervise every link's source: bounded ingest ring, Live/Stale/Down/Recovering lifecycle, backoff reconnects, staleness-aware fusion")
+		staleAfter = flag.Duration("stale-after", 500*time.Millisecond, "frame silence before a supervised link reads Stale (with -supervise)")
+		downAfter  = flag.Duration("down-after", 2*time.Second, "frame silence before a supervised link reads Down (with -supervise)")
+		backoff    = flag.Duration("backoff", 50*time.Millisecond, "initial reconnect backoff for a Down supervised link (with -supervise)")
+		backoffMax = flag.Duration("backoff-max", 5*time.Second, "reconnect backoff ceiling (with -supervise)")
+		chaosName  = flag.String("chaos", "none", "fault schedule injected into one link: none|stall|drip|eof|flap|drop|torn (with -supervise)")
+		chaosLink  = flag.Int("chaos-link", 1, "1-based index of the link that misbehaves (with -chaos)")
 	)
 	flag.Parse()
 
@@ -133,8 +170,15 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	chaos, chaosEnabled, err := chaosOf(*chaosName)
+	if err != nil {
+		return err
+	}
 	if *nLinks < 1 {
 		return fmt.Errorf("need at least one link, got %d", *nLinks)
+	}
+	if chaosEnabled && (*chaosLink < 1 || *chaosLink > *nLinks) {
+		return fmt.Errorf("-chaos-link %d out of range (1..%d)", *chaosLink, *nLinks)
 	}
 
 	var (
@@ -143,6 +187,10 @@ func run() error {
 		verdict    mlink.SiteVerdict // reused across report ticks (VerdictInto)
 		eng        *mlink.Engine
 		fleetState mlink.FleetState
+		// lastLifecycle records each supervised link's latest transition
+		// target for the final report — metrics stop reporting lifecycle
+		// once the run (and with it the supervisors) has ended.
+		lastLifecycle = map[string]mlink.LinkLifecycle{}
 	)
 	eng = mlink.NewEngine(mlink.EngineConfig{
 		Workers:    *workers,
@@ -159,8 +207,19 @@ func run() error {
 			decided++
 			if decided%*nLinks == 0 {
 				if err := eng.VerdictInto(&verdict); err == nil {
-					fmt.Printf("  site [%s] present=%v score=%.3f (%d/%d links positive)\n",
-						verdict.Policy, verdict.Present, verdict.Score, verdict.Positive, verdict.Total)
+					switch {
+					case verdict.Inconclusive:
+						fmt.Printf("  site [%s] INCONCLUSIVE: no link can vote (%d down, %d recovering, %d recalibrating of %d)\n",
+							verdict.Policy, verdict.Coverage.Down, verdict.Coverage.Recovering,
+							verdict.Coverage.Recalibrating, verdict.Coverage.Links)
+					case verdict.Coverage.Degraded():
+						fmt.Printf("  site [%s] present=%v score=%.3f (%d/%d links positive; DEGRADED %d/%d fused)\n",
+							verdict.Policy, verdict.Present, verdict.Score, verdict.Positive, verdict.Total,
+							verdict.Coverage.Fused, verdict.Coverage.Links)
+					default:
+						fmt.Printf("  site [%s] present=%v score=%.3f (%d/%d links positive)\n",
+							verdict.Policy, verdict.Present, verdict.Score, verdict.Positive, verdict.Total)
+					}
 				}
 				if rep, ok := eng.FleetReport(); ok && rep.State != 0 && rep.State != fleetState {
 					fleetState = rep.State
@@ -181,7 +240,29 @@ func run() error {
 			return err
 		}
 	}
+	if *superOn || chaosEnabled {
+		err := eng.EnableSupervision(mlink.SupervisionPolicy{
+			StaleAfter: *staleAfter,
+			DownAfter:  *downAfter,
+			BackoffMin: *backoff,
+			BackoffMax: *backoffMax,
+			OnTransition: func(link string, from, to mlink.LinkLifecycle, cause error) {
+				printMu.Lock()
+				defer printMu.Unlock()
+				lastLifecycle[link] = to
+				if cause != nil {
+					fmt.Printf("  ! link %-8s %s -> %s (%v)\n", link, from, to, cause)
+					return
+				}
+				fmt.Printf("  ! link %-8s %s -> %s\n", link, from, to)
+			},
+		})
+		if err != nil {
+			return err
+		}
+	}
 
+	var chaosSrc *mlink.ChaosSource
 	for i := 1; i <= *nLinks; i++ {
 		caseN := (i-1)%5 + 1
 		sys, err := mlink.NewLinkCaseSystem(caseN, scheme, *seed+int64(i))
@@ -194,9 +275,14 @@ func run() error {
 			mid := sys.Scenario.LinkMidpoint()
 			people = append(people, &mlink.Person{X: mid.X, Y: mid.Y})
 		}
-		if driftEnabled {
+		switch {
+		case chaosEnabled && i == *chaosLink:
+			// The misbehaving link: chaos wraps the plain source (drift and
+			// chaos on the same link would confound the demo).
+			chaosSrc, err = eng.AddChaosLink(id, sys, chaos, people...)
+		case driftEnabled:
 			err = eng.AddDriftLink(id, sys, drift, people...)
-		} else {
+		default:
 			err = eng.AddLink(id, sys, people...)
 		}
 		if err != nil {
@@ -235,6 +321,13 @@ func run() error {
 		fmt.Printf("  link %-8s mean mu %6.3f  threshold %7.4f\n", lm.ID, lm.MeanMu, lm.Threshold)
 	}
 
+	if chaosSrc != nil {
+		// Calibration is done on clean captures; the faults start with
+		// monitoring.
+		chaosSrc.Arm(true)
+		fmt.Printf("chaos %q armed on link %d\n", *chaosName, *chaosLink)
+	}
+
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 	if err := eng.Run(ctx, *windows); err != nil {
@@ -250,6 +343,24 @@ func run() error {
 			fmt.Printf("  link %-10s health %-11s  z %6.1f  shift %5.2f dB  refreshes %3d  relocks %d  thr %7.4f  recal-needed %v\n",
 				lm.ID, h.State, h.DriftZ, h.ProfileShiftDB, h.Refreshes, h.Relocks, lm.Threshold, h.NeedsRecalibration)
 		}
+	}
+	if *superOn || chaosEnabled {
+		printMu.Lock()
+		for _, lm := range m.PerLink {
+			// A supervised link that never transitioned ran live end to end.
+			lc, ok := lastLifecycle[lm.ID]
+			if !ok {
+				lc = mlink.LinkLive
+			}
+			fmt.Printf("  link %-10s lifecycle %-12s  drops %4d  reconnects %d\n",
+				lm.ID, lc, lm.SourceDrops, lm.Reconnects)
+		}
+		printMu.Unlock()
+	}
+	if chaosSrc != nil {
+		st := chaosSrc.Stats()
+		fmt.Printf("chaos ground truth: delivered %d, dropped %d, stalls %d, drips %d, eofs %d, fails %d, torn %d, reconnects %d (%d redials refused)\n",
+			st.Delivered, st.Dropped, st.Stalls, st.Drips, st.EOFs, st.Fails, st.Torn, st.Reconnects, st.FailedConnects)
 	}
 	if rep, ok := eng.FleetReport(); ok {
 		fmt.Printf("fleet classification: %s (links %d, drifting %d, jumped %d, quarantined %d, walking %d; relocks %d, recals dispatched %d, quarantines cleared %d)\n",

@@ -13,6 +13,7 @@ import (
 	"mlink/internal/engine"
 	"mlink/internal/fleet"
 	"mlink/internal/scenario"
+	"mlink/internal/supervise"
 )
 
 // Fleet-level types, re-exported from the internal engine so facade users
@@ -54,6 +55,22 @@ type (
 	// JournalConfig parameterizes crash-safe online persistence
 	// (EnableJournal): fsync cadence and compaction threshold.
 	JournalConfig = fleet.JournalConfig
+	// SupervisionPolicy parameterizes per-link source supervision
+	// (EnableSupervision): ring size, staleness and down thresholds,
+	// reconnect backoff (the zero value selects the documented defaults).
+	SupervisionPolicy = supervise.Policy
+	// LinkLifecycle is a supervised link's connectivity state.
+	LinkLifecycle = adapt.Lifecycle
+	// Coverage reports how much of the fleet stood behind a SiteVerdict.
+	Coverage = engine.Coverage
+	// ChaosConfig parameterizes deterministic fault injection for a
+	// chaos-wrapped link (AddChaosLink).
+	ChaosConfig = scenario.ChaosConfig
+	// ChaosSource is the fault-injecting source AddChaosLink returns; drive
+	// it with Arm/Stall/Resume and read ground truth from Stats.
+	ChaosSource = scenario.ChaosSource
+	// ChaosStats counts the faults a ChaosSource actually injected.
+	ChaosStats = scenario.ChaosStats
 )
 
 // Re-exported fleet classifications.
@@ -70,6 +87,15 @@ const (
 	HealthHealthy     = adapt.StateHealthy
 	HealthDrifting    = adapt.StateDrifting
 	HealthQuarantined = adapt.StateQuarantined
+)
+
+// Re-exported supervised link lifecycle states.
+const (
+	LinkUnsupervised = adapt.LifecycleUnsupervised
+	LinkLive         = adapt.LifecycleLive
+	LinkStale        = adapt.LifecycleStale
+	LinkDown         = adapt.LifecycleDown
+	LinkRecovering   = adapt.LifecycleRecovering
 )
 
 // Drift presets for simulated links (see internal/scenario).
@@ -195,10 +221,12 @@ func (e *Engine) fleetObserve() {
 	if e.fleetTicks%len(e.sources) != 0 {
 		return
 	}
-	// ErrAllQuarantined is not a reason to skip: the per-link decisions
-	// (with their health evidence) are fully populated even when fusion
-	// refuses to produce a site verdict, and a whole-fleet quarantine is
-	// precisely the state the coordinator exists to recover from.
+	// A whole-fleet quarantine or outage surfaces as an Inconclusive
+	// verdict (nil error) whose per-link decisions still carry their health
+	// evidence — precisely the state the coordinator exists to recover
+	// from, so it is observed like any other round. The ErrAllQuarantined
+	// tolerance remains for defence in depth against policies fused
+	// directly.
 	if err := e.eng.VerdictInto(&e.fleetVerdict); err != nil && !errors.Is(err, engine.ErrAllQuarantined) {
 		return
 	}
@@ -323,6 +351,51 @@ func (e *Engine) EnableAdaptation(policy ...AdaptationPolicy) error {
 		return fmt.Errorf("mlink: %w", err)
 	}
 	return nil
+}
+
+// EnableSupervision turns on per-link source supervision for the next Run:
+// each link gets a producer goroutine pulling frames from its source into a
+// bounded ring, a Live/Stale/Down/Recovering lifecycle with jittered
+// exponential-backoff reconnects, and staleness-aware fusion — a stalled or
+// dead source degrades that one link's coverage instead of stalling its
+// shard siblings. With no argument the default policy is used. Rejected
+// while the engine is running; EnableSupervision(SupervisionPolicy{}) after
+// a stop reconfigures, and there is no way to un-supervise short of a new
+// engine (nor a reason to).
+func (e *Engine) EnableSupervision(policy ...SupervisionPolicy) error {
+	p := SupervisionPolicy{}
+	if len(policy) > 0 {
+		p = policy[0]
+	}
+	if err := e.eng.SetSupervision(&p); err != nil {
+		return fmt.Errorf("mlink: %w", err)
+	}
+	return nil
+}
+
+// AddChaosLink is AddLink with deterministic fault injection wrapped around
+// the link's source: stalls, slow drip, mid-stream EOFs, flapping
+// reconnects, drop bursts, torn messages — the misbehaviours a supervised
+// fleet must degrade through. The returned ChaosSource is unarmed (the link
+// behaves normally, including during calibration) until Arm(true). Use with
+// EnableSupervision; without it a stalling chaos link stalls its shard, by
+// design.
+func (e *Engine) AddChaosLink(id string, sys *System, chaos ChaosConfig, people ...*Person) (*ChaosSource, error) {
+	if sys == nil {
+		return nil, fmt.Errorf("mlink: nil system for link %q", id)
+	}
+	inner := &phasedSource{
+		sys:    sys,
+		bodies: bodiesOf(people),
+		pool:   csi.NewFramePool(len(sys.extractor.Env.RX.Elements), sys.extractor.Grid.Len()),
+	}
+	src := scenario.NewChaosSource(inner, chaos)
+	if err := e.eng.AddLink(id, sys.cfg, src); err != nil {
+		return nil, fmt.Errorf("mlink: %w", err)
+	}
+	e.sources = append(e.sources, inner)
+	e.sourceBy[id] = inner
+	return src, nil
 }
 
 // phasedSource streams simulated captures from a System, with the link's

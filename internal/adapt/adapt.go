@@ -47,6 +47,49 @@ func (s State) String() string {
 	}
 }
 
+// Lifecycle is a link's source-connectivity state, owned by the supervision
+// layer (internal/supervise) and stamped into Health snapshots the engine
+// hands out. It is orthogonal to the drift State: State says whether the
+// link's *baseline* can be trusted, Lifecycle says whether the link is
+// *delivering frames at all*. The zero value means the link runs without
+// supervision (the pre-supervision behaviour: every source is assumed live).
+type Lifecycle int
+
+const (
+	// LifecycleUnsupervised: no supervisor watches this link's source.
+	LifecycleUnsupervised Lifecycle = iota
+	// LifecycleLive: frames are arriving at the expected cadence.
+	LifecycleLive
+	// LifecycleStale: no frame for longer than the staleness bound — the
+	// link's last decision is aging and its fusion vote is decayed.
+	LifecycleStale
+	// LifecycleDown: the source stalled past the down bound, failed, or
+	// ended; the link is excluded from fusion until it recovers.
+	LifecycleDown
+	// LifecycleRecovering: the source reconnected but has not yet delivered
+	// enough consecutive frames to count as live again (the anti-flap
+	// hysteresis hold); still excluded from fusion.
+	LifecycleRecovering
+)
+
+// String names the lifecycle state.
+func (l Lifecycle) String() string {
+	switch l {
+	case LifecycleUnsupervised:
+		return "unsupervised"
+	case LifecycleLive:
+		return "live"
+	case LifecycleStale:
+		return "stale"
+	case LifecycleDown:
+		return "down"
+	case LifecycleRecovering:
+		return "recovering"
+	default:
+		return fmt.Sprintf("lifecycle(%d)", int(l))
+	}
+}
+
 // Health is a link's adaptation status snapshot, surfaced per link in the
 // engine's verdicts and metrics. Beyond the classified State it carries the
 // structured drift evidence — signed deviations, the step-vs-walk
@@ -93,6 +136,11 @@ type Health struct {
 	// off by the fleet layer (a localized perturbation — likely a person —
 	// must not be absorbed into the baseline).
 	RefreshSuppressed bool
+	// Lifecycle is the link's source-connectivity state, stamped by the
+	// engine from the supervision layer at snapshot time. Transient by
+	// design: it is never persisted (a restart re-learns connectivity from
+	// scratch) and stays LifecycleUnsupervised when supervision is off.
+	Lifecycle Lifecycle
 }
 
 // Weight converts health into a fusion vote multiplier in (0, 1]: healthy
@@ -101,16 +149,27 @@ type Health struct {
 // quarantined, or recovered from an excursion onto a baseline that may not
 // be the calibrated one — at a small fraction that cannot outvote a
 // healthy link on its own.
+//
+// The lifecycle axis composes multiplicatively on top of the drift axis: a
+// stale link's last decision is aging, so its vote decays to a quarter; a
+// down or recovering link has no current evidence at all, so its weight
+// collapses below engine.MinFusibleWeight and the fusion layer skips it
+// entirely (without reading it as the "unset → full weight" zero).
 func (h Health) Weight() float64 {
+	switch h.Lifecycle {
+	case LifecycleDown, LifecycleRecovering:
+		return 1e-9
+	}
+	w := 1.0
 	if h.NeedsRecalibration {
-		return 0.1
+		w = 0.1
+	} else if h.State == StateDrifting {
+		w = 0.4
 	}
-	switch h.State {
-	case StateDrifting:
-		return 0.4
-	default:
-		return 1
+	if h.Lifecycle == LifecycleStale {
+		w *= 0.25
 	}
+	return w
 }
 
 // Policy parameterizes per-link adaptation. The zero value selects the
@@ -270,6 +329,7 @@ type AtomicHealth struct {
 	threshold  atomic.Uint64
 	needsRecal atomic.Bool
 	suppressed atomic.Bool
+	lifecycle  atomic.Int32
 }
 
 // Store writes every field of h atomically.
@@ -286,6 +346,7 @@ func (a *AtomicHealth) Store(h Health) {
 	a.threshold.Store(math.Float64bits(h.Threshold))
 	a.needsRecal.Store(h.NeedsRecalibration)
 	a.suppressed.Store(h.RefreshSuppressed)
+	a.lifecycle.Store(int32(h.Lifecycle))
 }
 
 // Load reads every field atomically.
@@ -303,6 +364,7 @@ func (a *AtomicHealth) Load() Health {
 		Threshold:          math.Float64frombits(a.threshold.Load()),
 		NeedsRecalibration: a.needsRecal.Load(),
 		RefreshSuppressed:  a.suppressed.Load(),
+		Lifecycle:          Lifecycle(a.lifecycle.Load()),
 	}
 }
 

@@ -13,4 +13,15 @@
 // indices) followed by Frame messages; Heartbeats keep idle streams alive.
 // Server serves a fresh Source per accepted connection; Client.Recv yields
 // decoded frames and surfaces a clean end of stream as io.EOF.
+//
+// Both ends are hardened for long-lived deployments. On the receive side,
+// Client.RecvInto decodes into a caller-owned frame and NewFramePool-backed
+// Client.Next/Recycle reuse pooled frames, so a steady stream allocates
+// nothing per frame; transport failures surface as the typed ErrLinkDown.
+// Redialer wraps a Client with address-keeping reconnect support (the
+// supervise.Reconnector contract), so a monitoring engine can redial a
+// restarted collector without tearing the link down. On the serve side,
+// Server.WriteTimeout bounds how long a wedged client that stops reading
+// can back up a stream goroutine: the write deadline trips, the client is
+// dropped, and every other client keeps streaming.
 package csinet

@@ -33,6 +33,12 @@ type Server struct {
 	// Interval paces frame delivery (0 = as fast as the source produces;
 	// 20 ms reproduces the paper's 50 packets/s).
 	Interval time.Duration
+	// WriteTimeout bounds each message write, so one wedged client — a
+	// dashboard that stopped reading while the kernel buffers fill — stalls
+	// only its own stream goroutine and only until the deadline trips,
+	// never the source or the other clients. 0 selects
+	// DefaultWriteTimeout; negative disables the deadline.
+	WriteTimeout time.Duration
 
 	lis    net.Listener
 	mu     sync.Mutex
@@ -59,8 +65,19 @@ func NewServer(addr string, hello Hello, factory func() Source) (*Server, error)
 	}, nil
 }
 
+// DefaultWriteTimeout is the per-message write deadline when
+// Server.WriteTimeout is left zero.
+const DefaultWriteTimeout = 30 * time.Second
+
 // Addr returns the bound listen address.
 func (s *Server) Addr() net.Addr { return s.lis.Addr() }
+
+// ClientCount reports the number of currently connected clients.
+func (s *Server) ClientCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.conns)
+}
 
 // Serve accepts connections until ctx is cancelled or Close is called. It
 // always returns a non-nil error (net.ErrClosed on clean shutdown).
@@ -107,11 +124,25 @@ func (s *Server) Serve(ctx context.Context) error {
 // stream serves one client until the source ends, the client leaves, or the
 // context is cancelled.
 func (s *Server) stream(ctx context.Context, conn net.Conn) {
+	wt := s.WriteTimeout
+	if wt == 0 {
+		wt = DefaultWriteTimeout
+	}
+	// send applies the write deadline per message: a client that stopped
+	// reading makes the write block only until the deadline trips, which
+	// errors the write and ends this stream goroutine — the wedged client
+	// is disconnected instead of wedging the server.
+	send := func(msgType byte, payload []byte) error {
+		if wt > 0 {
+			_ = conn.SetWriteDeadline(time.Now().Add(wt))
+		}
+		return WriteMessage(conn, msgType, payload)
+	}
 	hello, err := EncodeHello(s.hello)
 	if err != nil {
 		return
 	}
-	if err := WriteMessage(conn, TypeHello, hello); err != nil {
+	if err := send(TypeHello, hello); err != nil {
 		return
 	}
 	src := s.factory()
@@ -128,7 +159,7 @@ func (s *Server) stream(ctx context.Context, conn net.Conn) {
 		if err != nil {
 			// Clean end of stream: tell the client via heartbeat-then-close.
 			if errors.Is(err, io.EOF) {
-				_ = WriteMessage(conn, TypeHeartbeat, nil)
+				_ = send(TypeHeartbeat, nil)
 			}
 			return
 		}
@@ -136,7 +167,7 @@ func (s *Server) stream(ctx context.Context, conn net.Conn) {
 		if err != nil {
 			return
 		}
-		if err := WriteMessage(conn, TypeFrame, payload); err != nil {
+		if err := send(TypeFrame, payload); err != nil {
 			return
 		}
 		if ticker != nil {

@@ -114,6 +114,61 @@ func EncodeFrame(f *csi.Frame) ([]byte, error) {
 	return buf, nil
 }
 
+// DecodeFrameInto parses a CSI frame payload into a caller-provided frame,
+// reusing its RSSI and CSI storage when the shape matches (the pooled
+// ingest path). On a shape change the rows are rebuilt as slices of one
+// contiguous backing array, NewFrame's layout.
+func DecodeFrameInto(f *csi.Frame, b []byte) error {
+	if len(b) < 14 {
+		return fmt.Errorf("frame of %d bytes: %w", len(b), ErrMalformed)
+	}
+	nAnt := int(b[12])
+	nSub := int(b[13])
+	want := 14 + 8*nAnt + 16*nAnt*nSub
+	if len(b) != want {
+		return fmt.Errorf("frame length %d, want %d: %w", len(b), want, ErrMalformed)
+	}
+	if nAnt == 0 || nSub == 0 {
+		return fmt.Errorf("empty frame dimensions: %w", ErrMalformed)
+	}
+	f.Seq = binary.BigEndian.Uint32(b[0:4])
+	f.TimestampMicros = binary.BigEndian.Uint64(b[4:12])
+	if len(f.RSSI) != nAnt {
+		f.RSSI = make([]float64, nAnt)
+	}
+	reshape := len(f.CSI) != nAnt
+	if !reshape {
+		for _, row := range f.CSI {
+			if len(row) != nSub {
+				reshape = true
+				break
+			}
+		}
+	}
+	if reshape {
+		backing := make([]complex128, nAnt*nSub)
+		f.CSI = make([][]complex128, nAnt)
+		for i := range f.CSI {
+			f.CSI[i] = backing[i*nSub : (i+1)*nSub : (i+1)*nSub]
+		}
+	}
+	off := 14
+	for i := range f.RSSI {
+		f.RSSI[i] = math.Float64frombits(binary.BigEndian.Uint64(b[off:]))
+		off += 8
+	}
+	for a := 0; a < nAnt; a++ {
+		row := f.CSI[a]
+		for k := 0; k < nSub; k++ {
+			re := math.Float64frombits(binary.BigEndian.Uint64(b[off:]))
+			im := math.Float64frombits(binary.BigEndian.Uint64(b[off+8:]))
+			row[k] = complex(re, im)
+			off += 16
+		}
+	}
+	return nil
+}
+
 // DecodeFrame parses a CSI frame payload.
 func DecodeFrame(b []byte) (*csi.Frame, error) {
 	if len(b) < 14 {
@@ -179,7 +234,29 @@ func WriteMessage(w io.Writer, msgType byte, payload []byte) error {
 
 // ReadMessage reads and verifies one message.
 func ReadMessage(r io.Reader) (msgType byte, payload []byte, err error) {
-	header := make([]byte, 10)
+	var mr MessageReader
+	t, p, err := mr.Read(r)
+	if err != nil {
+		return 0, nil, err
+	}
+	// The scratch buffer belongs to the throwaway reader, so handing it out
+	// is safe — this is the allocating convenience path.
+	return t, p, nil
+}
+
+// MessageReader reads framed messages with reusable header/payload scratch,
+// so a long-lived connection's receive loop stops allocating per message.
+// The payload returned by Read aliases the reader's buffer and is valid
+// only until the next Read. Not safe for concurrent use.
+type MessageReader struct {
+	hdr     [10]byte
+	sum     [4]byte
+	payload []byte
+}
+
+// Read reads and verifies one message, reusing internal buffers.
+func (mr *MessageReader) Read(r io.Reader) (msgType byte, payload []byte, err error) {
+	header := mr.hdr[:]
 	if _, err := io.ReadFull(r, header); err != nil {
 		return 0, nil, fmt.Errorf("read header: %w", err)
 	}
@@ -194,15 +271,17 @@ func ReadMessage(r io.Reader) (msgType byte, payload []byte, err error) {
 	if n > MaxPayload {
 		return 0, nil, fmt.Errorf("payload %d bytes: %w", n, ErrTooLarge)
 	}
-	payload = make([]byte, n)
+	if uint32(cap(mr.payload)) < n {
+		mr.payload = make([]byte, n)
+	}
+	payload = mr.payload[:n]
 	if _, err := io.ReadFull(r, payload); err != nil {
 		return 0, nil, fmt.Errorf("read payload: %w", err)
 	}
-	sum := make([]byte, 4)
-	if _, err := io.ReadFull(r, sum); err != nil {
+	if _, err := io.ReadFull(r, mr.sum[:]); err != nil {
 		return 0, nil, fmt.Errorf("read checksum: %w", err)
 	}
-	if binary.BigEndian.Uint32(sum) != crc32.ChecksumIEEE(payload) {
+	if binary.BigEndian.Uint32(mr.sum[:]) != crc32.ChecksumIEEE(payload) {
 		return 0, nil, ErrBadCRC
 	}
 	return msgType, payload, nil

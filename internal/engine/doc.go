@@ -38,4 +38,16 @@
 // new baseline lands. SuppressRefresh and RelockLink expose the adapter's
 // fleet controls per link, and ExportLink/ImportLink serialize a link's
 // full monitoring state as versioned records for fleet.Store persistence.
+//
+// With Config.Supervision set, every source moves behind a
+// supervise.Supervisor: a per-link producer goroutine feeds a bounded SPSC
+// ring the shard drains non-blockingly, so a stalled, slow, or dead source
+// degrades only its own link instead of the shard-mates it used to advance
+// in lockstep with. The supervisor's lifecycle (Live/Stale/Down/Recovering,
+// with jittered-backoff redials and re-entry hysteresis) flows into each
+// link's fusion weight, and SiteVerdict.Coverage reports how many links
+// actually voted: a verdict with fewer fused links than registered ones is
+// Degraded, and when no link can vote the verdict is Inconclusive — an
+// explicit "site unobserved" answer, not an error and not a fabricated
+// "absent".
 package engine

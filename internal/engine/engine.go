@@ -13,6 +13,7 @@ import (
 	"mlink/internal/adapt"
 	"mlink/internal/core"
 	"mlink/internal/csi"
+	"mlink/internal/supervise"
 )
 
 // Engine errors.
@@ -36,6 +37,10 @@ var (
 	// ErrNotAdaptive reports a fleet-control operation on a link that runs
 	// without an adaptation loop.
 	ErrNotAdaptive = errors.New("engine: link not adaptive")
+	// ErrLinkDown reports an operation that needs frames from a link whose
+	// supervised source is down (an online recalibration of a dead link,
+	// for instance) — retry once the link recovers.
+	ErrLinkDown = errors.New("engine: link source down")
 )
 
 // Config parameterizes an Engine.
@@ -65,6 +70,15 @@ type Config struct {
 	// OnDecision, when non-nil, is invoked from scoring shards after every
 	// scored window. It must be safe for concurrent use and fast.
 	OnDecision func(linkID string, d core.Decision)
+	// Supervision, when non-nil, decouples ingestion from scoring: every
+	// link gets a supervise.Supervisor whose producer goroutine pulls the
+	// source into a bounded ring the shard consumes non-blockingly, so one
+	// stalled or dead source can never stall its shard siblings. The
+	// supervisor also tracks the link's lifecycle (Live/Stale/Down/
+	// Recovering) — verdict fusion decays stale links and excludes down
+	// ones — and redials reconnectable sources with jittered backoff. The
+	// zero Policy selects the package defaults.
+	Supervision *supervise.Policy
 }
 
 func (c Config) withDefaults() Config {
@@ -98,6 +112,11 @@ type link struct {
 	cfg      core.Config
 	src      Source
 	recycler FrameRecycler // non-nil when src pools its frames
+	// sup, when supervision is enabled, owns the link's ingestion: the
+	// shard consumes sup instead of src during Run (assigned by
+	// ensureShards under e.mu, so the single-reader source contract moves
+	// wholesale to the supervisor's producer goroutine).
+	sup *supervise.Supervisor
 	// shard is the link's owning shard for the current Run (assigned under
 	// e.mu by ensureShards); recal posters consult its exited flag.
 	shard *shard
@@ -212,6 +231,28 @@ func (e *Engine) SetAdaptation(p *adapt.Policy) error {
 	return nil
 }
 
+// SetSupervision installs (or, with nil, removes) the link-source
+// supervision policy; it takes effect at the next Run. Rejected while Run
+// is active. Removing supervision drains any frames still buffered in the
+// links' ingest rings back to their pooling sources.
+func (e *Engine) SetSupervision(p *supervise.Policy) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.running || e.calibrating {
+		return ErrRunning
+	}
+	e.cfg.Supervision = p
+	if p == nil {
+		for _, l := range e.links {
+			if l.sup != nil {
+				l.sup.Flush()
+				l.sup = nil
+			}
+		}
+	}
+	return nil
+}
+
 // AddLink registers a link under a unique ID. The source is owned by the
 // engine from here on: calibration and monitoring both draw frames from it,
 // always from a single goroutine at a time.
@@ -254,7 +295,10 @@ func (e *Engine) LinksInto(dst []string) []string {
 	return dst
 }
 
-// pull reads n frames from a source, counting them into the metrics.
+// pull reads n frames from a source, counting them into the metrics. A
+// supervised source's non-blocking ErrNoFrame is absorbed by a short wait —
+// calibration genuinely needs the frames — except when the link is Down,
+// which fails fast with ErrLinkDown rather than hanging until ctx ends.
 func (e *Engine) pull(ctx context.Context, src Source, dst []*csi.Frame, n int) ([]*csi.Frame, error) {
 	for len(dst) < n {
 		if err := ctx.Err(); err != nil {
@@ -262,6 +306,13 @@ func (e *Engine) pull(ctx context.Context, src Source, dst []*csi.Frame, n int) 
 		}
 		f, err := src.Next()
 		if err != nil {
+			if errors.Is(err, supervise.ErrNoFrame) {
+				if sup, ok := src.(*supervise.Supervisor); ok && sup.Lifecycle() == adapt.LifecycleDown {
+					return dst, fmt.Errorf("capture %d/%d frames: %w", len(dst), n, ErrLinkDown)
+				}
+				time.Sleep(200 * time.Microsecond)
+				continue
+			}
 			return dst, err
 		}
 		e.framesSeen.Add(1)
@@ -295,7 +346,13 @@ func (e *Engine) Calibrate(ctx context.Context, n int) error {
 	}
 	n = e.normalizeCalPackets(n)
 	return e.forEach(ctx, links, func(ctx context.Context, l *link) error {
-		if err := e.calibrateLink(ctx, l, n); err != nil {
+		if l.sup != nil {
+			// Offline calibration draws from the raw source; frames a past
+			// Run left buffered in the ingest ring would otherwise be
+			// replayed against the fresh baseline.
+			l.sup.Flush()
+		}
+		if err := e.calibrateLink(ctx, l, n, l.src); err != nil {
 			return err
 		}
 		clearStaleRecal(l)
@@ -348,8 +405,12 @@ func (e *Engine) forEach(ctx context.Context, links []*link, fn func(context.Con
 	return ctx.Err()
 }
 
-func (e *Engine) calibrateLink(ctx context.Context, l *link, n int) error {
-	cal, err := e.pull(ctx, l.src, make([]*csi.Frame, 0, n), n)
+// calibrateLink rebuilds one link's detector state from 2n fresh frames
+// drawn from src — the raw source for offline calibration, the link's
+// supervisor during an online (mid-Run) recalibration, where the producer
+// goroutine owns the raw source.
+func (e *Engine) calibrateLink(ctx context.Context, l *link, n int, src Source) error {
+	cal, err := e.pull(ctx, src, make([]*csi.Frame, 0, n), n)
 	if err != nil {
 		return fmt.Errorf("calibration capture: %w", err)
 	}
@@ -361,7 +422,7 @@ func (e *Engine) calibrateLink(ctx context.Context, l *link, n int) error {
 	if err != nil {
 		return err
 	}
-	holdout, err := e.pull(ctx, l.src, make([]*csi.Frame, 0, n), n)
+	holdout, err := e.pull(ctx, src, make([]*csi.Frame, 0, n), n)
 	if err != nil {
 		return fmt.Errorf("holdout capture: %w", err)
 	}
@@ -485,7 +546,10 @@ func (e *Engine) Recalibrate(ctx context.Context, linkID string, n int) error {
 		e.calibrating = false
 		e.mu.Unlock()
 	}()
-	if err := e.calibrateLink(ctx, l, n); err != nil {
+	if l.sup != nil {
+		l.sup.Flush()
+	}
+	if err := e.calibrateLink(ctx, l, n, l.src); err != nil {
 		return fmt.Errorf("link %s: %w", linkID, err)
 	}
 	clearStaleRecal(l)
@@ -640,8 +704,27 @@ func (e *Engine) ensureShards() {
 		if cap(l.win) < e.cfg.WindowSize {
 			l.win = make([]*csi.Frame, 0, e.cfg.WindowSize)
 		}
+		if len(l.win) > 0 {
+			// A cancelled supervised run can leave a part-assembled window;
+			// recycle it rather than scoring stale frames a Run later.
+			l.recycleFrames(l.win)
+			l.win = l.win[:0]
+		}
 		l.scored = 0
 		l.done = false
+		if e.cfg.Supervision != nil {
+			if l.sup == nil {
+				pol := *e.cfg.Supervision
+				// Decorrelate the per-link backoff jitter streams: links
+				// sharing one seed would redial a restarted collector in
+				// exact unison, defeating the jitter.
+				pol.Seed += int64(i)
+				l.sup = supervise.New(l.id, pol, l.src, l.recycler)
+			}
+		} else if l.sup != nil {
+			l.sup.Flush()
+			l.sup = nil
+		}
 	}
 }
 
@@ -653,9 +736,11 @@ func (e *Engine) ensureShards() {
 // identical whatever the shard count (see TestEngineShardedMatchesSequential).
 // Every link must be calibrated first.
 //
-// Links sharing a shard advance in lockstep: a source that blocks in Next
-// stalls its shard-mates too, so fleets fed by blocking sources (csinet)
-// should run with Workers ≥ links.
+// Without supervision, links sharing a shard advance in lockstep: a source
+// that blocks in Next stalls its shard-mates too, so fleets fed by blocking
+// sources (csinet) should either run with Workers ≥ links or — better —
+// enable Config.Supervision, which moves every source behind a per-link
+// ingest ring the shard consumes non-blockingly.
 func (e *Engine) Run(ctx context.Context, windowsPerLink int) error {
 	e.mu.Lock()
 	if e.running || e.calibrating {
@@ -676,6 +761,13 @@ func (e *Engine) Run(ctx context.Context, windowsPerLink int) error {
 	e.running = true
 	e.runStart = time.Now()
 	shards := e.shards
+	var sups []*supervise.Supervisor
+	if e.cfg.Supervision != nil {
+		sups = make([]*supervise.Supervisor, 0, len(e.links))
+		for _, l := range e.links {
+			sups = append(sups, l.sup)
+		}
+	}
 	e.mu.Unlock()
 	defer func() {
 		e.mu.Lock()
@@ -699,6 +791,25 @@ func (e *Engine) Run(ctx context.Context, windowsPerLink int) error {
 
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
+
+	// Supervised ingestion starts first so the shards find frames buffering
+	// already, and is torn down last (after every shard has stopped
+	// consuming): cancel unblocks the producers, Wait joins them.
+	for i, s := range sups {
+		if err := s.Start(ctx); err != nil {
+			cancel()
+			for _, p := range sups[:i] {
+				p.Wait()
+			}
+			return err
+		}
+	}
+	defer func() {
+		cancel()
+		for _, s := range sups {
+			s.Wait()
+		}
+	}()
 
 	// First-error recorder: shards may fail any number of times, so errors
 	// fold into one slot rather than a channel that could fill and block.
@@ -772,12 +883,14 @@ func (e *Engine) runShard(ctx context.Context, sh *shard, windowsPerLink int, fa
 	}()
 	active := len(sh.links)
 	done := ctx.Done()
+	var idle time.Duration
 	for active > 0 {
 		select {
 		case <-done:
 			return
 		default:
 		}
+		progressed := false
 		for _, l := range sh.links {
 			// A posted recalibration runs here, on the link's owning shard,
 			// so the detector and adapter keep exactly one writer. It
@@ -789,27 +902,46 @@ func (e *Engine) runShard(ctx context.Context, sh *shard, windowsPerLink int, fa
 			// case the run-exit sweep fails the job explicitly.
 			if job := l.recal.Load(); job != nil {
 				e.recalibrateOnShard(ctx, sh, l, job)
+				progressed = true
 				continue
 			}
 			if l.done {
 				continue
 			}
-			ok, err := e.tick(done, sh, l)
+			res, err := e.tick(done, sh, l)
 			if err != nil {
 				fail(fmt.Errorf("link %s: %w", l.id, err))
 				return
 			}
-			if !ok {
+			switch res {
+			case tickScored:
+				progressed = true
+				l.scored++
+				if windowsPerLink > 0 && l.scored >= windowsPerLink {
+					l.done = true
+					active--
+				}
+			case tickEnded:
 				l.done = true
 				active--
-				continue
-			}
-			l.scored++
-			if windowsPerLink > 0 && l.scored >= windowsPerLink {
-				l.done = true
-				active--
+			case tickStarved:
+				// Supervised link with an empty ring: skip it this pass,
+				// its siblings keep scoring — the whole point of the rings.
 			}
 		}
+		if progressed {
+			idle = 0
+			continue
+		}
+		// Every live link starved this pass. Back off briefly — ramping to
+		// 2ms — so a fleet of stalled sources parks the shard instead of
+		// spinning a core polling empty rings. Plain Sleep, not a timer
+		// select: this path must stay allocation-free, and 2ms of shutdown
+		// latency is absorbed by the pass-top done check.
+		if idle < 2*time.Millisecond {
+			idle += 100 * time.Microsecond
+		}
+		time.Sleep(idle)
 	}
 }
 
@@ -822,8 +954,18 @@ func (e *Engine) runShard(ctx context.Context, sh *shard, windowsPerLink int, fa
 // calibrateLink swaps state in only on success — and reports through the
 // job, never by killing the run.
 func (e *Engine) recalibrateOnShard(ctx context.Context, sh *shard, l *link, job *recalJob) {
+	src := l.src
+	if l.sup != nil {
+		// The producer goroutine owns the raw source while Run is active, so
+		// the rebuild draws through the supervisor's ring. The backlog the
+		// ring holds predates this request — under the facade it can even
+		// predate the occupied→empty monitoring switch — so shed it and
+		// calibrate on frames captured from here on.
+		l.sup.Flush()
+		src = l.sup
+	}
 	l.state.setRecalibrating(true)
-	job.err = e.calibrateLink(ctx, l, job.n)
+	job.err = e.calibrateLink(ctx, l, job.n, src)
 	l.state.setRecalibrating(false)
 	// A successful rebuild is journaled immediately as a full record — the
 	// walked baseline the deltas were building on just got replaced, so a
@@ -853,30 +995,54 @@ func (sh *shard) journalFull(l *link) {
 	l.needFull = false
 }
 
+// tickResult is one tick's outcome for the shard loop.
+type tickResult int
+
+const (
+	// tickScored: a full window was assembled and scored.
+	tickScored tickResult = iota
+	// tickStarved: a supervised link had no frame buffered; the partial
+	// window stays in the link's slab and assembly resumes next pass.
+	tickStarved
+	// tickEnded: the link's stream ended (EOF, cancellation, or an error —
+	// reported alongside).
+	tickEnded
+)
+
 // tick pulls and scores one window for a link: assemble into the link's
 // slab, score against its detector with the shard scratch, let the adapter
-// observe, recycle the frames, publish the decision. It reports ok=false on
-// a clean end of stream (EOF or cancellation). done is polled between
+// observe, recycle the frames, publish the decision. done is polled between
 // frames — a non-blocking channel read, a few ns — so cancellation lands
 // mid-window even on slow real-time sources, not a whole shard pass later.
-func (e *Engine) tick(done <-chan struct{}, sh *shard, l *link) (bool, error) {
-	l.win = l.win[:0]
+// A supervised link draws from its ingest ring and never blocks: an empty
+// ring parks the partial window in l.win (kept across passes) and returns
+// tickStarved so the shard moves on to its siblings.
+func (e *Engine) tick(done <-chan struct{}, sh *shard, l *link) (tickResult, error) {
+	src := l.src
+	if l.sup != nil {
+		src = l.sup
+	}
 	for len(l.win) < e.cfg.WindowSize {
 		select {
 		case <-done:
 			e.framesSeen.Add(uint64(len(l.win)))
 			l.recycleFrames(l.win)
-			return false, nil
+			l.win = l.win[:0]
+			return tickEnded, nil
 		default:
 		}
-		f, err := l.src.Next()
+		f, err := src.Next()
 		if err != nil {
+			if errors.Is(err, supervise.ErrNoFrame) {
+				return tickStarved, nil
+			}
 			e.framesSeen.Add(uint64(len(l.win)))
 			l.recycleFrames(l.win)
+			l.win = l.win[:0]
 			if errors.Is(err, io.EOF) || errors.Is(err, context.Canceled) {
-				return false, nil
+				return tickEnded, nil
 			}
-			return false, err
+			return tickEnded, err
 		}
 		l.win = append(l.win, f)
 	}
@@ -891,7 +1057,7 @@ func (e *Engine) tick(done <-chan struct{}, sh *shard, l *link) (bool, error) {
 	l.recycleFrames(l.win)
 	l.win = l.win[:0]
 	if err != nil {
-		return false, err
+		return tickEnded, err
 	}
 	threshold := dec.Threshold
 	if adapter != nil {
@@ -911,7 +1077,7 @@ func (e *Engine) tick(done <-chan struct{}, sh *shard, l *link) (bool, error) {
 			sh.jw.AppendDelta(l.id, sh.jrec)
 		}
 	}
-	return true, nil
+	return tickScored, nil
 }
 
 // recycleFrames hands a scored window's frames back to a pooling source.
@@ -984,6 +1150,15 @@ func (e *Engine) Verdict() (SiteVerdict, error) {
 // its Links slice — so a steady-state report loop fuses the fleet without
 // allocating. Link state is read from lock-free published snapshots; the
 // fleet lock is held only to walk the link list, never while scoring.
+//
+// Under supervision the verdict is coverage-aware: each link's lifecycle is
+// read from its supervisor and stamped into its Health, so Stale links fuse
+// at a decayed weight, Down/Recovering links are excluded outright, and
+// v.Coverage reports the degradation. A site with nothing left to vote —
+// every link down, recovering, recalibrating, or quarantined — returns a
+// nil error with v.Inconclusive set rather than an error: dead coverage is
+// a reportable site state, not a caller bug. ErrNoDecisions is still
+// returned before any link has scored its first window.
 func (e *Engine) VerdictInto(v *SiteVerdict) error {
 	decisions := v.Links[:0]
 	var snap linkSnap
@@ -992,6 +1167,7 @@ func (e *Engine) VerdictInto(v *SiteVerdict) error {
 		e.mu.Unlock()
 		return ErrNoLinks
 	}
+	running := e.running
 	var maxMu float64
 	for _, l := range e.links {
 		l.state.load(&snap)
@@ -999,14 +1175,45 @@ func (e *Engine) VerdictInto(v *SiteVerdict) error {
 			maxMu = snap.MeanMu
 		}
 	}
+	cov := Coverage{Links: len(e.links)}
+	excluded := 0
 	for _, l := range e.links {
 		l.state.load(&snap)
-		if snap.Windows == 0 || snap.Recalibrating {
+		lc := adapt.LifecycleUnsupervised
+		if running && l.sup != nil {
+			lc = l.sup.Lifecycle()
+		}
+		switch lc {
+		case adapt.LifecycleLive:
+			cov.Live++
+		case adapt.LifecycleStale:
+			cov.Stale++
+		case adapt.LifecycleDown:
+			cov.Down++
+		case adapt.LifecycleRecovering:
+			cov.Recovering++
+		}
+		if snap.Recalibrating {
+			cov.Recalibrating++
+		}
+		if snap.Windows == 0 {
+			continue
+		}
+		if snap.Recalibrating {
 			// A recalibrating link has no current opinion: its last decision
 			// predates the rebuild in progress, so fusing it would let a
 			// stale alarm (or a stale all-clear) outlive its baseline.
+			excluded++
 			continue
 		}
+		if lc == adapt.LifecycleDown || lc == adapt.LifecycleRecovering {
+			// Same reasoning on the connectivity axis: the link's last
+			// decision predates the outage, and a recovering link hasn't
+			// re-proven itself yet.
+			excluded++
+			continue
+		}
+		snap.Health.Lifecycle = lc
 		quality := 1.0
 		if maxMu > 0 && snap.MeanMu > 0 {
 			quality = snap.MeanMu / maxMu
@@ -1017,13 +1224,29 @@ func (e *Engine) VerdictInto(v *SiteVerdict) error {
 			Weight:   quality * snap.Health.Weight(),
 			Health:   snap.Health,
 		})
+		cov.Fused++
 	}
 	e.mu.Unlock()
+	if len(decisions) == 0 && excluded > 0 {
+		// Links have scored but every one is currently unusable: an
+		// explicit inconclusive verdict, not an error — the caller's report
+		// loop keeps running and sees the site recover through Coverage.
+		*v = SiteVerdict{Inconclusive: true, Policy: e.cfg.Fusion.String(), Links: decisions, Coverage: cov}
+		return nil
+	}
 	out, err := e.cfg.Fusion.Fuse(decisions)
 	if err != nil {
+		if errors.Is(err, ErrAllQuarantined) {
+			// The drift-axis dead site (every vote quarantined away) gets
+			// the same explicit inconclusive treatment as the dead-coverage
+			// one; the per-link evidence stays available in v.Links.
+			*v = SiteVerdict{Inconclusive: true, Policy: e.cfg.Fusion.String(), Links: decisions, Coverage: cov}
+			return nil
+		}
 		v.Links = decisions
 		return err
 	}
+	out.Coverage = cov
 	*v = out
 	return nil
 }

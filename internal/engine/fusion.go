@@ -40,10 +40,33 @@ type LinkDecision struct {
 	Health adapt.Health
 }
 
+// Coverage reports how much of the fleet stood behind a verdict — the
+// degradation view a supervised site exposes: a verdict fused from 3 of 5
+// links because two collectors are down is still a verdict, but the
+// operator (and the fleet coordinator) must know it rests on partial
+// evidence.
+type Coverage struct {
+	// Links is the registered fleet size.
+	Links int
+	// Fused counts links whose current decision actually entered fusion.
+	Fused int
+	// Live/Stale/Down/Recovering count links per lifecycle state (all zero
+	// when supervision is off — links then report LifecycleUnsupervised).
+	Live, Stale, Down, Recovering int
+	// Recalibrating counts links excluded while an online recalibration
+	// rebuilds their baseline.
+	Recalibrating int
+}
+
+// Degraded reports whether any registered link was left out of fusion.
+func (c Coverage) Degraded() bool { return c.Fused < c.Links }
+
 // SiteVerdict is the fused, site-level presence verdict over all monitored
 // links — the deployment-level answer RASID-style systems report.
 type SiteVerdict struct {
-	// Present is the fused decision.
+	// Present is the fused decision. Check Inconclusive first: an
+	// inconclusive verdict's Present is false because nothing could vote,
+	// not because the site was observed empty.
 	Present bool
 	// Score is the policy's fused statistic: the positive-link fraction for
 	// KOfN, the maximum normalized score for MaxScore.
@@ -54,6 +77,13 @@ type SiteVerdict struct {
 	Policy string
 	// Links holds the per-link decisions the verdict was fused from.
 	Links []LinkDecision
+	// Coverage summarizes link availability behind the verdict (stamped by
+	// the engine; zero value when a policy's Fuse is called directly).
+	Coverage Coverage
+	// Inconclusive marks a dead site: every link is down, recovering,
+	// recalibrating, or quarantined, so no trustworthy vote exists. The
+	// answer is "inspect/recalibrate the site", never "absent".
+	Inconclusive bool
 }
 
 // FusionPolicy combines per-link decisions into one site verdict.

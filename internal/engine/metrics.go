@@ -30,8 +30,15 @@ type LinkMetrics struct {
 	// link's owning shard (the link is excluded from fusion until it ends).
 	Recalibrating bool
 	// Health is the link's adaptation snapshot (zero value when Adaptive is
-	// false).
+	// false). Its Lifecycle field mirrors the Lifecycle below.
 	Health adapt.Health
+	// Lifecycle is the link's supervised connectivity state
+	// (LifecycleUnsupervised when supervision is off or Run is not active).
+	Lifecycle adapt.Lifecycle
+	// SourceDrops counts frames shed by the link's ingest ring, and
+	// Reconnects successful source redials (both zero without supervision).
+	SourceDrops uint64
+	Reconnects  uint64
 }
 
 // Metrics is a consistent-enough snapshot of the engine's counters.
@@ -90,6 +97,15 @@ func (e *Engine) MetricsInto(m *Metrics) {
 		}
 		if snap.Windows > 0 {
 			lm.MeanScore = snap.ScoreSum / float64(snap.Windows)
+		}
+		if l.sup != nil {
+			st := l.sup.Status()
+			lm.SourceDrops = st.Drops
+			lm.Reconnects = st.Reconnects
+			if e.running {
+				lm.Lifecycle = st.Lifecycle
+				lm.Health.Lifecycle = st.Lifecycle
+			}
 		}
 		perLink = append(perLink, lm)
 	}

@@ -393,6 +393,17 @@ func evidencing(buf *[]linkEvidence, links []engine.LinkDecision, jumpScoreZ, wa
 	out := (*buf)[:0]
 	for _, d := range links {
 		h := d.Health
+		if h.Lifecycle == adapt.LifecycleStale || h.Lifecycle == adapt.LifecycleDown ||
+			h.Lifecycle == adapt.LifecycleRecovering {
+			// A link whose source is stale or down carries no fresh channel
+			// evidence: its last snapshot describes the room as of whenever
+			// the frames stopped, and counting it toward cross-link drift
+			// consensus (or ambient quorum) would let a dead collector
+			// manufacture site-wide conclusions. Keep a neutral entry so
+			// fleet-size fractions (AmbientFraction) still see the link.
+			out = append(out, linkEvidence{id: d.LinkID, dir: 1})
+			continue
+		}
 		ev := linkEvidence{
 			id:          d.LinkID,
 			dir:         1,

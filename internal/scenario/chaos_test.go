@@ -1,0 +1,186 @@
+package scenario
+
+import (
+	"context"
+	"errors"
+	"io"
+	"testing"
+	"time"
+
+	"mlink/internal/csi"
+)
+
+// countSource serves fresh frames forever and counts recycles.
+type countSource struct {
+	served   int
+	recycled int
+}
+
+func (s *countSource) Next() (*csi.Frame, error) {
+	s.served++
+	return &csi.Frame{Seq: uint32(s.served)}, nil
+}
+
+func (s *countSource) Recycle(*csi.Frame) { s.recycled++ }
+
+func TestChaosUnarmedIsTransparent(t *testing.T) {
+	inner := &countSource{}
+	c := NewChaosSource(inner, ChaosConfig{FailEvery: 1, EOFEvery: 1, TornEvery: 1, DropEvery: 1, DropBurst: 5})
+	for i := 1; i <= 10; i++ {
+		f, err := c.Next()
+		if err != nil {
+			t.Fatalf("unarmed Next %d: %v", i, err)
+		}
+		if f.Seq != uint32(i) {
+			t.Fatalf("unarmed Next %d returned seq %d", i, f.Seq)
+		}
+	}
+	st := c.Stats()
+	if st.Delivered != 10 || st.Fails != 0 || st.Dropped != 0 {
+		t.Fatalf("unarmed stats = %+v, want pure delivery", st)
+	}
+}
+
+func TestChaosDeterministicSchedule(t *testing.T) {
+	run := func() (faults []int, stats ChaosStats) {
+		inner := &countSource{}
+		c := NewChaosSource(inner, ChaosConfig{FailEvery: 3, TornEvery: 5})
+		c.Arm(true)
+		for i := 1; i <= 30; i++ {
+			if _, err := c.Next(); err != nil {
+				faults = append(faults, i)
+			}
+		}
+		return faults, c.Stats()
+	}
+	f1, s1 := run()
+	f2, s2 := run()
+	if len(f1) == 0 {
+		t.Fatal("no faults injected")
+	}
+	if len(f1) != len(f2) {
+		t.Fatalf("schedules differ in length: %v vs %v", f1, f2)
+	}
+	for i := range f1 {
+		if f1[i] != f2[i] {
+			t.Fatalf("schedules diverge: %v vs %v", f1, f2)
+		}
+	}
+	if s1 != s2 {
+		t.Fatalf("stats differ: %+v vs %+v", s1, s2)
+	}
+	// FailEvery wins ties with TornEvery: multiples of 3 (10 of them) are
+	// fails, and of the multiples of 5 only 5, 10, 20, 25 remain torn
+	// (15 and 30 collide with fails).
+	if s1.Fails != 10 || s1.Torn != 4 {
+		t.Fatalf("fault mix = %+v, want 10 fails and 4 torn", s1)
+	}
+}
+
+func TestChaosFaultKinds(t *testing.T) {
+	inner := &countSource{}
+	c := NewChaosSource(inner, ChaosConfig{EOFEvery: 2})
+	c.Arm(true)
+	if _, err := c.Next(); err != nil {
+		t.Fatalf("call 1: %v", err)
+	}
+	if _, err := c.Next(); !errors.Is(err, io.EOF) {
+		t.Fatalf("call 2 = %v, want io.EOF", err)
+	}
+
+	c2 := NewChaosSource(&countSource{}, ChaosConfig{TornEvery: 2})
+	c2.Arm(true)
+	c2.Next()
+	if _, err := c2.Next(); !errors.Is(err, ErrTornFrame) {
+		t.Fatalf("torn call = %v, want ErrTornFrame", err)
+	}
+}
+
+func TestChaosDropBurst(t *testing.T) {
+	inner := &countSource{}
+	c := NewChaosSource(inner, ChaosConfig{DropEvery: 3, DropBurst: 2})
+	c.Arm(true)
+	var got []uint32
+	for i := 0; i < 6; i++ {
+		f, err := c.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, f.Seq)
+	}
+	// Calls 3 and 6 each swallow a 2-frame burst before delivering.
+	want := []uint32{1, 2, 5, 6, 7, 10}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("delivered seqs %v, want %v", got, want)
+		}
+	}
+	st := c.Stats()
+	if st.Dropped != 4 || inner.recycled != 4 {
+		t.Fatalf("dropped %d (recycled %d), want 4", st.Dropped, inner.recycled)
+	}
+}
+
+func TestChaosFlappingReconnect(t *testing.T) {
+	c := NewChaosSource(&countSource{}, ChaosConfig{FailConnects: 2})
+	c.Arm(true)
+	ctx := context.Background()
+	for i := 0; i < 2; i++ {
+		if err := c.Reconnect(ctx); !errors.Is(err, ErrChaosDown) {
+			t.Fatalf("redial %d = %v, want ErrChaosDown", i+1, err)
+		}
+	}
+	if err := c.Reconnect(ctx); err != nil {
+		t.Fatalf("redial after flap budget = %v, want success", err)
+	}
+	st := c.Stats()
+	if st.FailedConnects != 2 || st.Reconnects != 1 {
+		t.Fatalf("reconnect stats = %+v", st)
+	}
+	// Re-arming resets the flap budget.
+	c.Arm(true)
+	if err := c.Reconnect(ctx); !errors.Is(err, ErrChaosDown) {
+		t.Fatalf("redial after re-arm = %v, want ErrChaosDown again", err)
+	}
+}
+
+func TestChaosStallAndInterrupt(t *testing.T) {
+	c := NewChaosSource(&countSource{}, ChaosConfig{})
+	c.Stall()
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.Next()
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		t.Fatalf("Next returned %v during a stall", err)
+	case <-time.After(20 * time.Millisecond):
+	}
+	c.Resume()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("Next after Resume: %v", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("Next still blocked after Resume")
+	}
+
+	// Interrupt unblocks a stalled Next with io.EOF.
+	c.Stall()
+	go func() {
+		_, err := c.Next()
+		done <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	c.Interrupt()
+	select {
+	case err := <-done:
+		if !errors.Is(err, io.EOF) {
+			t.Fatalf("interrupted Next = %v, want io.EOF", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("Next still blocked after Interrupt")
+	}
+}

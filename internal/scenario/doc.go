@@ -16,4 +16,13 @@
 // linear receive-gain walk, temperature-like oscillator (CFO/STO) drift,
 // and a furniture-move step change — the adversarial inputs the adaptation
 // layer (internal/adapt) is tested against.
+//
+// Transport misbehaviour is first-class too: ChaosSource wraps any frame
+// source with deterministic, counter-scheduled fault injection — stalls,
+// slow drip, mid-stream EOF, transport failures with flapping reconnects,
+// silent drop bursts, and torn messages — and counts ground truth in
+// ChaosStats. It implements the full supervise source surface (Next,
+// Recycle, Reconnect, Interrupt), so the supervision layer
+// (internal/supervise) and its soak tests drive a misbehaving link through
+// exactly the code paths a real collector outage would.
 package scenario

@@ -1,0 +1,63 @@
+package supervise
+
+import (
+	"sync/atomic"
+
+	"mlink/internal/csi"
+)
+
+// ring is a bounded single-producer/single-consumer frame queue: the
+// supervisor's producer goroutine pushes, the owning engine shard pops.
+// Capacity is rounded up to a power of two so the head/tail indices wrap
+// with a mask. Push and pop are wait-free (a full ring rejects rather than
+// blocks); the producer decides whether to drop or wait.
+//
+// Memory ordering: the producer writes the slot before publishing tail, and
+// the consumer reads head before clearing the slot, so Go's atomic
+// acquire/release semantics make every published frame fully visible to the
+// consumer with no lock.
+type ring struct {
+	buf  []*csi.Frame
+	mask uint64
+	head atomic.Uint64 // next slot to pop (consumer-owned)
+	tail atomic.Uint64 // next slot to push (producer-owned)
+}
+
+func newRing(capacity int) *ring {
+	n := 1
+	for n < capacity {
+		n <<= 1
+	}
+	return &ring{buf: make([]*csi.Frame, n), mask: uint64(n - 1)}
+}
+
+// push appends f; it reports false when the ring is full.
+func (r *ring) push(f *csi.Frame) bool {
+	t := r.tail.Load()
+	if t-r.head.Load() == uint64(len(r.buf)) {
+		return false
+	}
+	r.buf[t&r.mask] = f
+	r.tail.Store(t + 1)
+	return true
+}
+
+// pop removes the oldest frame, or returns nil when the ring is empty. The
+// slot is cleared so a buffered frame never outlives its consumption (frames
+// are pooled; a stale reference would defeat recycling).
+func (r *ring) pop() *csi.Frame {
+	h := r.head.Load()
+	if h == r.tail.Load() {
+		return nil
+	}
+	f := r.buf[h&r.mask]
+	r.buf[h&r.mask] = nil
+	r.head.Store(h + 1)
+	return f
+}
+
+// len reports the number of buffered frames. Racy by nature (either index
+// may move under the caller); good enough for metrics.
+func (r *ring) len() int {
+	return int(r.tail.Load() - r.head.Load())
+}
