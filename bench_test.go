@@ -636,6 +636,62 @@ func BenchmarkEngineSteadyStateJournal(b *testing.B) {
 	b.ReportMetric(scored/b.Elapsed().Seconds(), "scores/s")
 }
 
+// BenchmarkEngineSteadyStateSkewed measures the scheduler's answer to a
+// lopsided fleet: one link runs the MUSIC-weighted SchemeSubcarrierPath
+// detector — an order of magnitude more DSP per window than its 15
+// SchemeSubcarrier peers — so under static affinity the shard seeded with
+// the heavy link drags its queue-mates and, once they retire, idles three
+// of four workers behind it. The stealing/static sub-benchmark pair
+// isolates the work-stealing win: on a multi-core host stealing finishes
+// the same fleet quota measurably sooner because the cheap links drain
+// through whichever shards have capacity while one shard grinds the heavy
+// link. (On a single-core host the pair ties — there is no idle worker to
+// steal onto — so CI's multi-core runner is where the gap is asserted.)
+// One benchmark op is one window per link, as in the other engine benches.
+func BenchmarkEngineSteadyStateSkewed(b *testing.B) {
+	const links = 16
+	run := func(b *testing.B, workers int, static bool) {
+		s, frames := engineFixture(b)
+		e := engine.New(engine.Config{
+			Workers:        workers,
+			WindowSize:     25,
+			StaticAffinity: static,
+			Fusion:         engine.KOfN{K: 1},
+		})
+		for i := 0; i < links; i++ {
+			scheme := core.SchemeSubcarrier
+			if i == 0 {
+				scheme = core.SchemeSubcarrierPath
+			}
+			cfg := core.DefaultConfig(s.Grid, scheme, s.Env.RX.Offsets())
+			if err := e.AddLink(fmt.Sprintf("l%d", i), cfg, engine.NewReplaySource(frames, true)); err != nil {
+				b.Fatal(err)
+			}
+		}
+		ctx := context.Background()
+		if err := e.Calibrate(ctx, 60); err != nil {
+			b.Fatal(err)
+		}
+		if err := e.Run(ctx, 1); err != nil { // warm slabs and scratches
+			b.Fatal(err)
+		}
+		warm := e.Metrics()
+		b.ReportAllocs()
+		b.ResetTimer()
+		if err := e.Run(ctx, b.N); err != nil {
+			b.Fatal(err)
+		}
+		b.StopTimer()
+		m := e.Metrics()
+		b.ReportMetric(float64(m.WindowsScored-warm.WindowsScored)/b.Elapsed().Seconds(), "scores/s")
+		b.ReportMetric(float64(m.Steals-warm.Steals), "steals")
+	}
+	for _, w := range []int{1, 4} {
+		b.Run(fmt.Sprintf("stealing/workers=%d", w), func(b *testing.B) { run(b, w, false) })
+		b.Run(fmt.Sprintf("static/workers=%d", w), func(b *testing.B) { run(b, w, true) })
+	}
+}
+
 // BenchmarkDetectorScoreScratch compares the allocating Score path against
 // ScoreScratch with a reused per-worker scratch — the engine's hot path.
 func BenchmarkDetectorScoreScratch(b *testing.B) {

@@ -28,6 +28,17 @@
 //     fails CI until the regression is fixed or the claim is consciously
 //     retired. Host-portable because both numbers come from the same host.
 //
+// With -scale, benchcheck instead checks only the multi-core scaling
+// entries — the ones carrying scale_vs/min_scale and/or max_ns_per_op —
+// against a run from CI's multi-core runner (the gating shard-scaling
+// job). For each such entry it asserts presence, the allocation rules
+// above, ns_per_op ≤ max_ns_per_op when set (the single-worker latency
+// floor: scaling must not be bought by slowing workers=1 down), and
+// ns_per_op(scale_vs) / ns_per_op ≥ min_scale — both sides measured within
+// the same run on the same host, so the ratio is host-portable even though
+// the raw numbers are not. This is what gates the work-stealing
+// scheduler's ≥2× workers=1→4 claim.
+//
 // A single -benchtime=1x iteration cannot tell a one-time lazy-init
 // allocation from a per-op one (both show as allocs/op over N=1), so CI
 // feeds benchcheck two runs: the full 1x smoke (presence) plus a
@@ -65,6 +76,14 @@ type baselineEntry struct {
 	// host).
 	PrevNsPerOp float64 `json:"prev_ns_per_op,omitempty"`
 	MinSpeedup  float64 `json:"min_speedup,omitempty"`
+	// ScaleVs and MinScale, when both set, mark a multi-core scaling gate
+	// checked only under -scale: this benchmark's measured ns/op must be at
+	// least MinScale× below ScaleVs's within the same run. MaxNsPerOp,
+	// when set, additionally bounds this benchmark's measured ns/op under
+	// -scale — the single-worker latency floor of the scaling gate.
+	ScaleVs    string  `json:"scale_vs,omitempty"`
+	MinScale   float64 `json:"min_scale,omitempty"`
+	MaxNsPerOp float64 `json:"max_ns_per_op,omitempty"`
 }
 
 type baseline struct {
@@ -130,6 +149,8 @@ func cachedNaivePair(name string) (string, bool) {
 
 func run() error {
 	baselinePath := flag.String("baseline", "BENCH_baseline.json", "baseline JSON path")
+	scaleMode := flag.Bool("scale", false,
+		"check only the multi-core scaling entries (scale_vs/min_scale/max_ns_per_op) against a multi-core run")
 	flag.Parse()
 
 	raw, err := os.ReadFile(*baselinePath)
@@ -178,6 +199,63 @@ func run() error {
 	}
 
 	var failures []string
+	checkAllocs := func(b baselineEntry, r result) {
+		if !r.hasAllocs {
+			return
+		}
+		switch {
+		case b.AllocsPerOp == 0 && r.allocsPerOp != 0:
+			failures = append(failures, fmt.Sprintf(
+				"%s: %v allocs/op, baseline is allocation-free (0)", b.Name, r.allocsPerOp))
+		case b.AllocsPerOp > 0 && r.allocsPerOp > 2*b.AllocsPerOp:
+			failures = append(failures, fmt.Sprintf(
+				"%s: %v allocs/op, > 2× baseline %v", b.Name, r.allocsPerOp, b.AllocsPerOp))
+		}
+	}
+
+	if *scaleMode {
+		checked := 0
+		for _, b := range base.Benchmarks {
+			if b.ScaleVs == "" && b.MaxNsPerOp == 0 {
+				continue
+			}
+			checked++
+			r, ok := got[b.Name]
+			if !ok {
+				failures = append(failures, fmt.Sprintf("%s: missing from scaling run (perf harness rot?)", b.Name))
+				continue
+			}
+			checkAllocs(b, r)
+			if b.MaxNsPerOp > 0 && r.nsPerOp > b.MaxNsPerOp {
+				failures = append(failures, fmt.Sprintf(
+					"%s: %v ns/op, above the %v ns/op latency bound (scaling must not slow the single-worker path)",
+					b.Name, r.nsPerOp, b.MaxNsPerOp))
+			}
+			if b.ScaleVs != "" && b.MinScale > 0 {
+				ref, okRef := got[b.ScaleVs]
+				if !okRef || ref.nsPerOp <= 0 || r.nsPerOp <= 0 {
+					failures = append(failures, fmt.Sprintf(
+						"%s: scaling reference %s missing from run", b.Name, b.ScaleVs))
+				} else if ratio := ref.nsPerOp / r.nsPerOp; ratio < b.MinScale {
+					failures = append(failures, fmt.Sprintf(
+						"%s: only %.2f× faster than %s (%v vs %v ns/op), < required %v×",
+						b.Name, ratio, b.ScaleVs, r.nsPerOp, ref.nsPerOp, b.MinScale))
+				}
+			}
+		}
+		if checked == 0 {
+			return fmt.Errorf("no scaling entries (scale_vs/max_ns_per_op) in %s", *baselinePath)
+		}
+		if len(failures) > 0 {
+			for _, f := range failures {
+				fmt.Fprintln(os.Stderr, "FAIL:", f)
+			}
+			return fmt.Errorf("%d scaling regression(s) against %s", len(failures), *baselinePath)
+		}
+		fmt.Printf("benchcheck: %d scaling entries OK against %s\n", checked, *baselinePath)
+		return nil
+	}
+
 	for _, b := range base.Benchmarks {
 		if b.PrevNsPerOp > 0 && b.MinSpeedup > 0 {
 			if b.NsPerOp <= 0 || b.PrevNsPerOp/b.NsPerOp < b.MinSpeedup {
@@ -191,16 +269,7 @@ func run() error {
 			failures = append(failures, fmt.Sprintf("%s: missing from run (perf harness rot?)", b.Name))
 			continue
 		}
-		if r.hasAllocs {
-			switch {
-			case b.AllocsPerOp == 0 && r.allocsPerOp != 0:
-				failures = append(failures, fmt.Sprintf(
-					"%s: %v allocs/op, baseline is allocation-free (0)", b.Name, r.allocsPerOp))
-			case b.AllocsPerOp > 0 && r.allocsPerOp > 2*b.AllocsPerOp:
-				failures = append(failures, fmt.Sprintf(
-					"%s: %v allocs/op, > 2× baseline %v", b.Name, r.allocsPerOp, b.AllocsPerOp))
-			}
-		}
+		checkAllocs(b, r)
 		naiveName, isCached := cachedNaivePair(b.Name)
 		if !isCached || b.NsPerOp < 1000 {
 			continue

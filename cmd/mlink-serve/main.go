@@ -337,6 +337,17 @@ func run() error {
 	eng.MetricsInto(&m)
 	fmt.Printf("\nscored %d windows (%d frames) at %.1f windows/s across %d links\n",
 		m.WindowsScored, m.FramesSeen, m.ScoresPerSec, m.Links)
+	// Scheduler picture: how evenly the work-stealing shards shared the
+	// fleet, and what each link's window actually costs (the EWMA the
+	// stealing decisions route around).
+	fmt.Printf("scheduler: %d shards, %d steals", len(m.Shards), m.Steals)
+	for i, sm := range m.Shards {
+		fmt.Printf("  [s%d %d windows, %.0f%% busy]", i, sm.WindowsScored, 100*sm.Utilization)
+	}
+	fmt.Println()
+	for _, lm := range m.PerLink {
+		fmt.Printf("  link %-10s cost %8.1f µs/window (EWMA)\n", lm.ID, lm.NsPerWindowEWMA/1e3)
+	}
 	if *adaptOn || *fleetOn {
 		for _, lm := range m.PerLink {
 			h := lm.Health

@@ -177,7 +177,7 @@ func (k *Kernel) scoreBaseline(profile *Profile, window []*csi.Frame, sc *Scratc
 func (k *Kernel) windowWeights(window []*csi.Frame, sc *Scratch) ([][]float64, error) {
 	nAnt := window[0].NumAntennas()
 	nSub := window[0].NumSubcarriers()
-	perAnt := sc.perAntenna(nAnt)
+	perAnt := sc.perAntenna(nAnt, nSub)
 	for ant := 0; ant < nAnt; ant++ {
 		mus := sc.muRows(len(window), nSub)
 		for i, f := range window {

@@ -42,14 +42,19 @@ type Scratch struct {
 	taps    []complex128
 	powers  []float64
 
-	// Reusable detector buffers.
-	acc   []float64   // per-subcarrier accumulator (mean amplitude / RSS)
-	row   []float64   // one frame's RSS row
-	mus   [][]float64 // window multipath factors, [packet][subcarrier]
-	pant  [][]float64 // per-antenna weight vectors
-	wrows [][]float64 // per-antenna weight row backing (Eq. 15 / Eq. 12)
-	med   []float64   // median-selection work row
-	sw    SubcarrierWeights
+	// Reusable detector buffers. The mu and weight rows are headers over
+	// contiguous slabs (muSlab/wSlab): a window's 25×30 multipath factors
+	// occupy one ~6 KB block, so the fill and weight-derivation passes sweep
+	// it linearly instead of hopping between individually grown rows.
+	acc    []float64   // per-subcarrier accumulator (mean amplitude / RSS)
+	row    []float64   // one frame's RSS row
+	mus    [][]float64 // window multipath factors, [packet][subcarrier]
+	muSlab []float64   // contiguous backing for mus
+	pant   [][]float64 // per-antenna weight vectors
+	wrows  [][]float64 // per-antenna weight rows (Eq. 15 / Eq. 12)
+	wSlab  []float64   // contiguous backing for wrows
+	med    []float64   // median-selection work row
+	sw     SubcarrierWeights
 
 	// Reusable sanitized-window frames.
 	san sanitize.Scratch
@@ -106,7 +111,10 @@ func (sc *Scratch) bindGrid(grid *channel.Grid) {
 		}
 	}
 	if sc.xform == nil || sc.xform.Len() != n {
-		sc.xform = dsp.NewTransform(n)
+		// Shared process-wide plan: Transforms are immutable and
+		// concurrency-safe, so every scratch (and so every shard) scoring
+		// the same grid size reuses one warmed radix plan.
+		sc.xform = dsp.Plan(n)
 	}
 	sc.grid = grid
 }
@@ -189,40 +197,45 @@ func (sc *Scratch) rssRow(n int) []float64 {
 	return sc.row
 }
 
-// muRows returns m reusable rows of n multipath factors.
+// muRows returns m reusable rows of n multipath factors, all views into one
+// contiguous slab so per-window passes over the whole window sweep linear
+// memory.
 func (sc *Scratch) muRows(m, n int) [][]float64 {
 	if cap(sc.mus) < m {
-		next := make([][]float64, m)
-		copy(next, sc.mus[:cap(sc.mus)])
-		sc.mus = next
+		sc.mus = make([][]float64, m)
 	}
 	sc.mus = sc.mus[:m]
+	sc.muSlab = growFloats(&sc.muSlab, m*n)
 	for i := range sc.mus {
-		sc.mus[i] = growFloats(&sc.mus[i], n)
+		sc.mus[i] = sc.muSlab[i*n : (i+1)*n : (i+1)*n]
 	}
 	return sc.mus
 }
 
-// perAntenna returns the reusable per-antenna weight-vector table.
-func (sc *Scratch) perAntenna(nAnt int) [][]float64 {
+// perAntenna returns the reusable per-antenna weight-vector table, sizing the
+// weight-row slab for nAnt rows of nSub floats up front — weightRow hands out
+// views into that slab, so it must not grow (and so invalidate earlier rows)
+// mid-window.
+func (sc *Scratch) perAntenna(nAnt, nSub int) [][]float64 {
 	if cap(sc.pant) < nAnt {
 		sc.pant = make([][]float64, nAnt)
 	}
 	sc.pant = sc.pant[:nAnt]
+	if cap(sc.wrows) < nAnt {
+		sc.wrows = make([][]float64, nAnt)
+	}
+	sc.wrows = sc.wrows[:nAnt]
+	sc.wSlab = growFloats(&sc.wSlab, nAnt*nSub)
+	for i := range sc.wrows {
+		sc.wrows[i] = sc.wSlab[i*nSub : (i+1)*nSub : (i+1)*nSub]
+	}
 	return sc.pant
 }
 
-// weightRow returns antenna ant's reusable weight row of n floats.
+// weightRow returns antenna ant's weight row (a view into the slab sized by
+// perAntenna).
 func (sc *Scratch) weightRow(ant, n int) []float64 {
-	if cap(sc.wrows) <= ant {
-		next := make([][]float64, ant+1)
-		copy(next, sc.wrows[:cap(sc.wrows)])
-		sc.wrows = next
-	}
-	if len(sc.wrows) <= ant {
-		sc.wrows = sc.wrows[:ant+1]
-	}
-	return growFloats(&sc.wrows[ant], n)
+	return sc.wrows[ant][:n]
 }
 
 // medRow returns the reusable median/selection work row.

@@ -7,8 +7,11 @@ package dsp
 // other size falls back to the cached-twiddle matrix path, so a Transform is
 // never wrong, only sometimes not faster.
 //
-// A Transform is allocation-free per call but carries no per-call locking:
-// like a core.Scratch, give each worker its own.
+// A Transform is allocation-free per call and safe for concurrent use: after
+// NewTransform the plan is immutable (radices and twiddle tables are only
+// read), and every per-call intermediate lives on the stack or in the
+// caller's dst. Prefer Plan over NewTransform so all workers share one
+// cached plan per size.
 type Transform struct {
 	n       int
 	radices []int // mixed-radix plan, outermost first; nil → matrix fallback

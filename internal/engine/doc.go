@@ -5,14 +5,21 @@
 // one site-level presence decision.
 //
 // Calibration runs per link in parallel on a bounded worker pool. During
-// monitoring, links are distributed over min(Workers, links) long-lived
-// shards with link affinity: each shard owns its links' window slabs,
-// detectors, adapters and one core.Scratch, and advances its links one
-// window at a time in registration order. Because nothing on the score path
-// is shared between shards, the steady state runs with no locks, no channel
-// hand-offs and zero allocations per window — and because each link's
-// windows are scored strictly in stream order, per-link decision sequences
-// are bit-identical whatever the shard count. Sources that implement
+// monitoring, links are seeded round-robin onto min(Workers, links)
+// long-lived shards and rebalance from there by work stealing: each shard
+// keeps its resident links in a lock-free FIFO run queue, drives them one
+// window at a time, and — when its own queue runs dry because its links
+// retired, starved, or were stolen — takes a link whole from a busy
+// sibling's queue. A link is held by exactly one shard at a time (the
+// queues hand it off atomically, together with its window slab, detector,
+// adapter and journal buffer), so nothing on the score path is shared
+// between shards and the steady state runs with no locks, no channel
+// hand-offs and zero allocations per window (journaled runs add one brief
+// mutexed append per scored window, keeping the crash log in global
+// emission order) — and because each link's
+// windows are scored strictly in stream order by its current holder,
+// per-link decision sequences are bit-identical whatever the shard count or
+// migration history. Sources that implement
 // FrameRecycler (such as PooledExtractorSource) get their frames back after
 // each window is scored, so steady-state monitoring allocates neither
 // frames nor windows. Per-link core.Decisions are fused by a pluggable
@@ -31,11 +38,13 @@
 //
 // Recalibration is online: while Run is active, Recalibrate (blocking) and
 // RequestRecalibration (fire-and-forget, the fleet coordinator's entry
-// point) post the rebuild to the shard that owns the link, which drains the
-// link's stream into a fresh calibration at its next pass — sibling links
-// never pause, the single-writer ownership of detectors and adapters is
-// preserved, and the link is excluded from fusion (Recalibrating) until its
-// new baseline lands. SuppressRefresh and RelockLink expose the adapter's
+// point) post the rebuild to the link; the shard holding it claims the job
+// at the link's next turn and drains its stream into a fresh calibration —
+// other links never pause, the single-writer ownership of detectors and
+// adapters is preserved, and the link is excluded from fusion
+// (Recalibrating) until its new baseline lands. A link already retired for
+// the Run (quota met, stream ended) is revived through a dedicated queue so
+// late rebuilds are serviced rather than rejected. SuppressRefresh and RelockLink expose the adapter's
 // fleet controls per link, and ExportLink/ImportLink serialize a link's
 // full monitoring state as versioned records for fleet.Store persistence.
 //

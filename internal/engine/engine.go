@@ -46,10 +46,19 @@ var (
 // Config parameterizes an Engine.
 type Config struct {
 	// Workers bounds the calibration pool and the number of scoring shards
-	// (default GOMAXPROCS). Links are distributed over min(Workers, links)
-	// long-lived shards with link affinity — parallelism is per link, so
+	// (default GOMAXPROCS). Links start distributed over min(Workers, links)
+	// long-lived shards and migrate between them through work stealing: a
+	// shard whose links are all retired or starved takes a link from a
+	// busy sibling instead of idling. Parallelism is still per link —
 	// more workers than links buys nothing.
 	Workers int
+	// StaticAffinity disables work stealing: links stay on the shard they
+	// were assigned to at Run start, as in the original static round-robin
+	// scheduler. Scoring semantics are identical either way (each link's
+	// windows are scored in stream order by exactly one shard at a time);
+	// this switch exists for A/B comparison under skewed fleets — see
+	// BenchmarkEngineSteadyStateSkewed.
+	StaticAffinity bool
 	// WindowSize is the monitoring window in packets (default 25, the
 	// paper's operating point at 50 packets/s).
 	WindowSize int
@@ -104,9 +113,12 @@ func (c Config) withDefaults() Config {
 //
 // The mutable fields are partitioned by owner rather than guarded by a
 // mutex: det/adapter/meanMu are written only while e.calibrating (and read
-// afterwards through the e.mu happens-before chain); win/scored/done belong
-// to the link's shard during Run; everything Verdict and Metrics need is
-// published through state, which readers load without locking.
+// afterwards through the e.mu happens-before chain); win/scored/jrec/ewmaNs
+// belong to whichever shard currently holds the link — the linkQueue's
+// atomic handoff orders them between consecutive owners, so there is one
+// writer at a time even as the link migrates; everything Verdict and
+// Metrics need is published through state, which readers load without
+// locking.
 type link struct {
 	id       string
 	cfg      core.Config
@@ -117,9 +129,6 @@ type link struct {
 	// ensureShards under e.mu, so the single-reader source contract moves
 	// wholesale to the supervisor's producer goroutine).
 	sup *supervise.Supervisor
-	// shard is the link's owning shard for the current Run (assigned under
-	// e.mu by ensureShards); recal posters consult its exited flag.
-	shard *shard
 
 	det *core.Detector
 	// adapter is nil when adaptation is disabled. It is an atomic pointer —
@@ -131,19 +140,34 @@ type link struct {
 	meanMu  float64
 
 	// recal is the link's pending online-recalibration request. Posted from
-	// any goroutine (under e.mu), consumed by the owning shard at its next
-	// pass — the latch that lets Recalibrate run while Run is active without
-	// a second writer ever touching the link's detector or adapter.
+	// any goroutine (under e.mu), claimed and executed by the shard holding
+	// the link — the latch that lets Recalibrate run while Run is active
+	// without a second writer ever touching the link's detector or adapter.
 	recal atomic.Pointer[recalJob]
+	// retired marks that the link is finished for the current Run (windows
+	// quota met or stream ended) and is in no shard's queue. Posters read
+	// it to route a new recal job through the revive queue instead.
+	retired atomic.Bool
+	// hinted dedupes the link's revive-queue entries (see reviveQueue).
+	hinted atomic.Bool
 
 	// win is the link's persistent window slab: one WindowSize-capacity
 	// frame buffer reused for every tick of every Run — the replacement for
 	// the old per-tick pool round trips.
 	win    []*csi.Frame
 	scored int
-	done   bool
+	// ewmaNs tracks the link's smoothed scoring cost (ns per window,
+	// α = 1/8), published with each decision — the observability handle for
+	// spotting the heavy link a shard is pinned on.
+	ewmaNs float64
 
-	// needFull asks the owning shard to journal a complete link record at
+	// jrec is the link's reusable journal record buffer: emission
+	// serializes into jrec and hands the bytes to the engine's writer,
+	// which copies before the next tick reuses the buffer, so steady-state
+	// journaling allocates nothing. Owned by the shard holding the link.
+	jrec []byte
+
+	// needFull asks the holding shard to journal a complete link record at
 	// the link's next scored window — set whenever the full state changed
 	// outside the journal's view (calibration, import, journal attach), so
 	// every delta in the journal has a base record ahead of it.
@@ -166,24 +190,25 @@ type recalJob struct {
 	waited bool
 }
 
-// shard is one long-lived scoring worker: it owns a subset of the links
-// (assigned round-robin by registration order at Run start), a scratch, and
-// nothing else — every per-window buffer it touches hangs off its links, so
+// shard is one long-lived scoring worker. It owns a scratch and a run queue
+// of resident links (seeded round-robin by registration order at Run start);
+// every per-window buffer it touches hangs off the link it is holding, so
 // the steady-state loop shares no mutable state with other shards and takes
-// no lock. Shards persist across Runs so their scratches stay warm.
+// no lock. When its queue runs dry it steals a resident link from a busy
+// sibling (unless Config.StaticAffinity), so one heavy link can no longer
+// serialize its queue-mates behind it. Shards persist across Runs so their
+// scratches stay warm.
 type shard struct {
-	sc    *core.Scratch
-	links []*link
-	// jw is the shard's journal writer (nil when journaling is off) and
-	// jrec its reusable record buffer: emission serializes into jrec and
-	// hands the bytes to jw, which copies before the next tick reuses the
-	// buffer — so steady-state journaling allocates nothing.
-	jw   JournalWriter
-	jrec []byte
-	// exited (guarded by the engine mutex) marks that this Run's shard
-	// loop has returned: posted recalibrations are rejected from here on,
-	// and the shard drained any already-posted ones on its way out.
-	exited bool
+	id int
+	sc *core.Scratch
+	// dq is the shard's run queue (see linkQueue); revived is scratch space
+	// for draining the engine's revive queue.
+	dq      linkQueue
+	revived []*link
+	// Scheduler observability, read by MetricsInto while the run is live.
+	windows atomic.Uint64 // windows scored by this shard
+	steals  atomic.Uint64 // links taken from a sibling's queue
+	busyNs  atomic.Int64  // wall time spent scoring windows (vs polling/idling)
 }
 
 // Engine monitors a fleet of links concurrently.
@@ -198,11 +223,25 @@ type Engine struct {
 	// their entry check): Run must not start while a calibration is still
 	// pulling frames from a link's single-reader source.
 	calibrating bool
-	// journal, when non-nil, supplies per-shard writers that receive every
-	// link's full records and per-window deltas during Run (see SetJournal).
+	// journal, when non-nil, supplies the writer that receives every link's
+	// full records and per-window deltas during Run (see SetJournal). jw is
+	// that writer, created once per sink under e.mu; jmu serializes the
+	// shards' appends to it so the journal file's record order is the global
+	// emission order — the property crash recovery's cut consistency rests
+	// on — even as links migrate between shards. The critical section is a
+	// buffer append a few hundred bytes long once per scored window
+	// (~100 µs of DSP), so the lock is uncontended in practice.
 	journal  JournalSink
+	jmu      sync.Mutex
+	jw       JournalWriter
 	runStart time.Time
 	shards   []*shard
+
+	// remaining counts the links not yet retired in the current Run; it
+	// hitting zero is what ends the shard loops. revive carries hints that
+	// a retired link has a posted recalibration (see reviveQueue).
+	remaining atomic.Int64
+	revive    reviveQueue
 
 	windowsScored atomic.Uint64
 	framesSeen    atomic.Uint64
@@ -494,13 +533,16 @@ func (e *Engine) normalizeCalPackets(n int) int {
 // empty again, exactly as for the initial Calibrate.
 //
 // While Run is active the recalibration happens online: the request is
-// posted to the shard that owns the link, which drains the link's stream
-// into profile rebuilding at its next pass — sibling links (on this shard's
-// siblings) keep scoring throughout — and Recalibrate blocks until that
-// rebuild completes or ctx ends. An unknown link returns ErrUnknownLink in
-// every engine state (consistent with ScoreWindow); ErrRunning is returned
-// only when a fleet-wide Calibrate is still in flight, and ErrRecalPending
-// when the link already has an unfinished online recalibration.
+// posted to the link, and the shard currently holding it claims and
+// executes the rebuild at the link's next turn — sibling links keep scoring
+// throughout — while Recalibrate blocks until that rebuild completes or ctx
+// ends. A link already retired this Run (quota met or stream ended) is
+// revived for the rebuild: any shard picks the job up from the revive
+// queue, so late recalibrations are serviced instead of rejected. An
+// unknown link returns ErrUnknownLink in every engine state (consistent
+// with ScoreWindow); ErrRunning is returned only when a fleet-wide
+// Calibrate is still in flight, and ErrRecalPending when the link already
+// has an unfinished online recalibration.
 func (e *Engine) Recalibrate(ctx context.Context, linkID string, n int) error {
 	n = e.normalizeCalPackets(n)
 	e.mu.Lock()
@@ -514,19 +556,12 @@ func (e *Engine) Recalibrate(ctx context.Context, linkID string, n int) error {
 		return ErrRunning
 	}
 	if e.running {
-		if l.shard != nil && l.shard.exited {
-			// The owning shard has already finished this Run (its links met
-			// their quotas or their streams ended): nothing will service the
-			// job, so fail fast instead of blocking until the run ends.
-			e.mu.Unlock()
-			return fmt.Errorf("link %s: owning shard finished this run: %w", linkID, ErrNotRunning)
-		}
 		job := &recalJob{n: n, done: make(chan struct{}), waited: true}
-		posted := l.recal.CompareAndSwap(nil, job)
-		e.mu.Unlock()
-		if !posted {
-			return fmt.Errorf("link %s: %w", linkID, ErrRecalPending)
+		if err := e.postRecal(l, job); err != nil {
+			e.mu.Unlock()
+			return fmt.Errorf("link %s: %w", linkID, err)
 		}
+		e.mu.Unlock()
 		select {
 		case <-job.done:
 			if job.err != nil {
@@ -534,8 +569,8 @@ func (e *Engine) Recalibrate(ctx context.Context, linkID string, n int) error {
 			}
 			return nil
 		case <-ctx.Done():
-			// The job stays posted; the owning shard (or the run-exit sweep)
-			// completes it without this caller.
+			// The job stays posted; the shard that claims it (or the
+			// run-exit sweep) completes it without this caller.
 			return ctx.Err()
 		}
 	}
@@ -557,9 +592,10 @@ func (e *Engine) Recalibrate(ctx context.Context, linkID string, n int) error {
 }
 
 // RequestRecalibration posts an online recalibration without waiting for it:
-// the owning shard rebuilds the link's profile at its next pass, with the
-// outcome observable through the link's published health and metrics. This
-// is the entry point the fleet coordinator schedules staggered fleet
+// the shard holding the link rebuilds its profile at the link's next turn
+// (a retired link is revived through the revive queue), with the outcome
+// observable through the link's published health and metrics. This is the
+// entry point the fleet coordinator schedules staggered fleet
 // recalibrations through. Only valid while Run is active.
 func (e *Engine) RequestRecalibration(linkID string, n int) error {
 	n = e.normalizeCalPackets(n)
@@ -572,11 +608,31 @@ func (e *Engine) RequestRecalibration(linkID string, n int) error {
 	if !e.running {
 		return fmt.Errorf("link %s: %w", linkID, ErrNotRunning)
 	}
-	if l.shard != nil && l.shard.exited {
-		return fmt.Errorf("link %s: owning shard finished this run: %w", linkID, ErrNotRunning)
+	if err := e.postRecal(l, &recalJob{n: n, done: make(chan struct{})}); err != nil {
+		return fmt.Errorf("link %s: %w", linkID, err)
 	}
-	if !l.recal.CompareAndSwap(nil, &recalJob{n: n, done: make(chan struct{})}) {
-		return fmt.Errorf("link %s: %w", linkID, ErrRecalPending)
+	return nil
+}
+
+// postRecal installs a recalibration job on a running link. Under e.mu.
+//
+// The pending check reads the recal slot AND the published Recalibrating
+// flag: serviceRecal raises the flag before claiming (emptying) the slot
+// and lowers it only after the rebuild, so with sequentially consistent
+// atomics there is no instant at which a rebuild is in flight and both
+// reads come back clear — a second job can never be accepted while one
+// executes, which is what makes serviceRecal's executor unique.
+func (e *Engine) postRecal(l *link, job *recalJob) error {
+	if l.state.recalibrating() || !l.recal.CompareAndSwap(nil, job) {
+		return ErrRecalPending
+	}
+	if l.retired.Load() {
+		// The link is in no shard's queue; hint the job to whichever shard
+		// drains the revive queue next. Ordering: the job is posted before
+		// this load, and retire() pushes its own hint after storing retired,
+		// so whichever side of the race runs second sees the other — the
+		// job cannot be stranded.
+		e.revive.push(l)
 	}
 	return nil
 }
@@ -672,8 +728,9 @@ func linkMeanMu(frames []*csi.Frame, cfg core.Config) (float64, error) {
 
 // ensureShards (re)builds the shard set for the current fleet under e.mu.
 // Shard structs and their scratches persist across Runs — only the link
-// assignment is refreshed — so a warmed-up engine re-enters its steady state
-// without reallocating anything.
+// distribution is refreshed (round-robin seed; stealing rebalances from
+// there) — so a warmed-up engine re-enters its steady state without
+// reallocating anything.
 func (e *Engine) ensureShards() {
 	n := e.cfg.Workers
 	if n > len(e.links) {
@@ -685,22 +742,26 @@ func (e *Engine) ensureShards() {
 			if i < len(e.shards) {
 				shards[i] = e.shards[i]
 			} else {
-				shards[i] = &shard{sc: core.NewScratch()}
+				shards[i] = &shard{id: i, sc: core.NewScratch()}
 			}
 		}
 		e.shards = shards
 	}
 	for _, sh := range e.shards {
-		sh.links = sh.links[:0]
-		sh.exited = false
-		if e.journal != nil && sh.jw == nil {
-			sh.jw = e.journal.NewWriter()
-		}
+		// Queues are sized for the whole fleet: stealing can migrate every
+		// link onto one shard.
+		sh.dq.reset(len(e.links))
+	}
+	e.revive.reset(len(e.links))
+	e.remaining.Store(int64(len(e.links)))
+	if e.journal != nil && e.jw == nil {
+		e.jw = e.journal.NewWriter()
 	}
 	for i, l := range e.links {
 		sh := e.shards[i%n]
-		sh.links = append(sh.links, l)
-		l.shard = sh
+		l.scored = 0
+		l.retired.Store(false)
+		l.hinted.Store(false)
 		if cap(l.win) < e.cfg.WindowSize {
 			l.win = make([]*csi.Frame, 0, e.cfg.WindowSize)
 		}
@@ -710,8 +771,6 @@ func (e *Engine) ensureShards() {
 			l.recycleFrames(l.win)
 			l.win = l.win[:0]
 		}
-		l.scored = 0
-		l.done = false
 		if e.cfg.Supervision != nil {
 			if l.sup == nil {
 				pol := *e.cfg.Supervision
@@ -725,22 +784,29 @@ func (e *Engine) ensureShards() {
 			l.sup.Flush()
 			l.sup = nil
 		}
+		sh.dq.push(l)
 	}
 }
 
 // Run monitors the whole fleet until every link has scored windowsPerLink
-// windows (0 = until its source ends or ctx is cancelled). Links are
-// assigned round-robin to min(Workers, links) persistent shards; each shard
-// advances its links one window at a time, in registration order, so every
-// link's windows are scored in stream order and its decision sequence is
-// identical whatever the shard count (see TestEngineShardedMatchesSequential).
-// Every link must be calibrated first.
+// windows (0 = until its source ends or ctx is cancelled). Links are seeded
+// round-robin onto min(Workers, links) persistent shards and rebalance from
+// there by work stealing: a shard whose queue runs dry (links retired,
+// starved, or stolen) takes a link from a busy sibling instead of idling,
+// so a fleet with one heavy link or one retiring early keeps every worker
+// busy. Each link is still advanced one window at a time by exactly one
+// shard — the queues hand a link off whole — so every link's windows are
+// scored in stream order and its decision sequence is bit-identical
+// whatever the shard count or migration history (see
+// TestEngineStealingMatchesSequential). Every link must be calibrated
+// first.
 //
-// Without supervision, links sharing a shard advance in lockstep: a source
-// that blocks in Next stalls its shard-mates too, so fleets fed by blocking
-// sources (csinet) should either run with Workers ≥ links or — better —
-// enable Config.Supervision, which moves every source behind a per-link
-// ingest ring the shard consumes non-blockingly.
+// A source that blocks in Next still stalls whichever shard is driving it
+// for the duration of one window, so fleets fed by blocking sources
+// (csinet) should enable Config.Supervision, which moves every source
+// behind a per-link ingest ring the shards consume non-blockingly; stealing
+// then keeps the remaining shards saturated with whatever links have frames
+// buffered.
 func (e *Engine) Run(ctx context.Context, windowsPerLink int) error {
 	e.mu.Lock()
 	if e.running || e.calibrating {
@@ -834,126 +900,210 @@ func (e *Engine) Run(ctx context.Context, windowsPerLink int) error {
 		wg.Add(1)
 		go func(sh *shard) {
 			defer wg.Done()
-			e.runShard(ctx, sh, windowsPerLink, fail)
+			e.runShard(ctx, sh, shards, windowsPerLink, fail)
 		}(sh)
 	}
 	wg.Wait()
+	// Hand the buffered journal records to the sink, so the journal's
+	// durable state trails a finished or cancelled run by at most the sync
+	// cadence. (Each link already flushed when it retired; this picks up
+	// records a cancellation interrupted.)
+	if e.jw != nil {
+		e.jmu.Lock()
+		e.jw.Flush()
+		e.jmu.Unlock()
+	}
 	errMu.Lock()
 	defer errMu.Unlock()
 	return firstErr
 }
 
-// runShard drives one shard's links round-robin, one window per link per
-// pass, until every link is done or the context ends. The loop owns all the
-// state it touches — links' slabs and detectors, the shard scratch — so the
-// steady state runs without locks or allocations.
-func (e *Engine) runShard(ctx context.Context, sh *shard, windowsPerLink int, fail func(error)) {
-	// Registered first so it runs last (after the recal drain below): hand
-	// the shard's buffered journal records to the sink, so the journal's
-	// durable state trails a finished or cancelled run by at most the sync
-	// cadence.
-	defer func() {
-		if sh.jw != nil {
-			sh.jw.Flush()
-		}
-	}()
-	// On the way out, flip the exited flag under the engine mutex and then
-	// drain any recalibration posted before the flip: posters check exited
-	// under the same mutex before posting, so a job is either rejected up
-	// front or guaranteed to be serviced here — never orphaned until the
-	// run-exit sweep while a blocking caller (or the fleet scheduler's
-	// pending slot) waits on it.
-	defer func() {
-		e.mu.Lock()
-		sh.exited = true
-		e.mu.Unlock()
-		// Jobs posted before the flip are either serviced now (the shard
-		// exited because its links met their quotas while the run goes on)
-		// or, when the whole run is ending, left posted for the run-exit
-		// sweep (which unblocks waiting callers) and the next Run's first
-		// pass (which executes the fleet scheduler's fire-and-forget jobs).
-		if ctx.Err() != nil {
-			return
-		}
-		for _, l := range sh.links {
-			if job := l.recal.Load(); job != nil {
-				e.recalibrateOnShard(ctx, sh, l, job)
-			}
-		}
-	}()
-	active := len(sh.links)
+// runShard is one worker's scheduling loop: take the oldest resident link
+// from the shard's queue, drive it one step (a scored window or a claimed
+// recalibration), push it back — FIFO, so residents advance round-robin.
+// When the queue runs dry the shard steals a resident from a busy sibling
+// (unless Config.StaticAffinity) and adopts it; when nothing is stealable
+// it backs off with a ramping sleep. Between takes it services revive-queue
+// hints (recalibrations posted to links already retired). The loop ends
+// when every link in the fleet has retired or the context does — shards no
+// longer exit early when "their" links finish, because links are no longer
+// theirs.
+//
+// The loop owns all the state it touches while holding a link — the link's
+// slab, detector and journal buffer, the shard scratch — handed off through
+// the queue's atomics, so the steady state runs without locks or
+// allocations.
+func (e *Engine) runShard(ctx context.Context, sh *shard, shards []*shard, windowsPerLink int, fail func(error)) {
 	done := ctx.Done()
 	var idle time.Duration
-	for active > 0 {
+	var futile int64
+	for e.remaining.Load() > 0 {
 		select {
 		case <-done:
 			return
 		default:
 		}
-		progressed := false
-		for _, l := range sh.links {
-			// A posted recalibration runs here, on the link's owning shard,
-			// so the detector and adapter keep exactly one writer. It
-			// replaces this pass's window for this link only — sibling
-			// links, and every other shard, keep scoring. A link that has
-			// already met its windows quota still honors the request (its
-			// stream is alive and its shard is still driving siblings);
-			// only a shard whose links are ALL done has exited, in which
-			// case the run-exit sweep fails the job explicitly.
-			if job := l.recal.Load(); job != nil {
-				e.recalibrateOnShard(ctx, sh, l, job)
-				progressed = true
-				continue
-			}
-			if l.done {
-				continue
-			}
-			res, err := e.tick(done, sh, l)
-			if err != nil {
-				fail(fmt.Errorf("link %s: %w", l.id, err))
-				return
-			}
-			switch res {
-			case tickScored:
-				progressed = true
-				l.scored++
-				if windowsPerLink > 0 && l.scored >= windowsPerLink {
-					l.done = true
-					active--
+		if e.revive.count.Load() != 0 {
+			sh.revived = e.revive.drain(sh.revived[:0])
+			for _, l := range sh.revived {
+				if e.serviceRecal(ctx, l) {
+					futile, idle = 0, 0
 				}
-			case tickEnded:
-				l.done = true
-				active--
-			case tickStarved:
-				// Supervised link with an empty ring: skip it this pass,
-				// its siblings keep scoring — the whole point of the rings.
 			}
 		}
-		if progressed {
-			idle = 0
+		l := sh.dq.take()
+		if l == nil && !e.cfg.StaticAffinity {
+			if l = e.steal(sh, shards); l != nil {
+				sh.steals.Add(1)
+			}
+		}
+		if l == nil {
+			// Nothing resident and nothing stealable: every live link is in
+			// flight on another shard or the fleet is retiring. Back off —
+			// ramping to 2ms — rather than spin; the loop-top done check
+			// absorbs the shutdown latency.
+			if idle < 2*time.Millisecond {
+				idle += 100 * time.Microsecond
+			}
+			time.Sleep(idle)
 			continue
 		}
-		// Every live link starved this pass. Back off briefly — ramping to
-		// 2ms — so a fleet of stalled sources parks the shard instead of
-		// spinning a core polling empty rings. Plain Sleep, not a timer
-		// select: this path must stay allocation-free, and 2ms of shutdown
-		// latency is absorbed by the pass-top done check.
-		if idle < 2*time.Millisecond {
-			idle += 100 * time.Microsecond
+		progressed, keep, err := e.advance(ctx, done, sh, l, windowsPerLink)
+		if err != nil {
+			fail(fmt.Errorf("link %s: %w", l.id, err))
+			return
 		}
-		time.Sleep(idle)
+		if keep {
+			sh.dq.push(l)
+		}
+		if progressed {
+			futile, idle = 0, 0
+			continue
+		}
+		// A starved link (empty ingest ring) went back to the queue without
+		// work. Only once a whole round of takes is futile — every resident
+		// starved — does the shard park itself, with the same 100µs→2ms
+		// ramp as the empty-queue path.
+		futile++
+		if futile > sh.dq.size() {
+			if idle < 2*time.Millisecond {
+				idle += 100 * time.Microsecond
+			}
+			time.Sleep(idle)
+			futile = 0
+		}
+	}
+	// The fleet has retired and the run is completing normally; pick up any
+	// late revive hints so a blocking Recalibrate caller isn't left for the
+	// run-exit sweep to fail when the job could simply be serviced.
+	if ctx.Err() == nil {
+		sh.revived = e.revive.drain(sh.revived[:0])
+		for _, l := range sh.revived {
+			e.serviceRecal(ctx, l)
+		}
 	}
 }
 
-// recalibrateOnShard executes one posted recalibration on the link's owning
-// shard: the link's stream is drained into a fresh calibration capture and
-// the detector, adapter and published state are rebuilt in place. While it
+// steal takes one resident link from a sibling shard's queue, scanning
+// round-robin from the thief's successor. Victims keep their last resident
+// (size < 2 is skipped): stealing a shard's only link would just ping-pong
+// it between queues, and a single serial link can't be sped up anyway.
+func (e *Engine) steal(sh *shard, shards []*shard) *link {
+	for k := 1; k < len(shards); k++ {
+		v := shards[(sh.id+k)%len(shards)]
+		if v.dq.size() < 2 {
+			continue
+		}
+		if l := v.dq.take(); l != nil {
+			return l
+		}
+	}
+	return nil
+}
+
+// advance drives one held link a single step: claim and execute its posted
+// recalibration, or score one window. It reports whether the link made
+// progress (the shard's backoff signal), whether it stays in rotation, and
+// a fatal stream error if any.
+func (e *Engine) advance(ctx context.Context, done <-chan struct{}, sh *shard, l *link, windowsPerLink int) (progressed, keep bool, err error) {
+	// A posted recalibration runs here, on the shard currently holding the
+	// link, so the detector and adapter keep exactly one writer. It
+	// replaces this turn's window for this link only — every other link,
+	// on this shard and its siblings, keeps scoring. A link that has
+	// already met its windows quota honors the request too, via the revive
+	// queue rather than this path.
+	if l.recal.Load() != nil {
+		e.serviceRecal(ctx, l)
+		return true, true, nil
+	}
+	res, err := e.tick(done, sh, l)
+	if err != nil {
+		return false, false, err
+	}
+	switch res {
+	case tickScored:
+		sh.windows.Add(1)
+		l.scored++
+		if windowsPerLink > 0 && l.scored >= windowsPerLink {
+			e.retire(l)
+			return true, false, nil
+		}
+		return true, true, nil
+	case tickEnded:
+		e.retire(l)
+		return false, false, nil
+	default: // tickStarved
+		// Supervised link with an empty ring: back into the queue, its
+		// queue-mates keep scoring — the whole point of the rings.
+		return false, true, nil
+	}
+}
+
+// retire takes a finished link out of rotation for the rest of the Run:
+// quota met or stream ended. The remaining count hitting zero is what ends
+// the shard loops. The link's journal trail is flushed now — in an
+// unbounded run no later flush would come — and a recalibration that raced
+// the retirement is hinted to the revive queue (see postRecal for why at
+// least one side always pushes).
+func (e *Engine) retire(l *link) {
+	l.retired.Store(true)
+	e.remaining.Add(-1)
+	if e.jw != nil {
+		e.jmu.Lock()
+		e.jw.Flush()
+		e.jmu.Unlock()
+	}
+	if l.recal.Load() != nil {
+		e.revive.push(l)
+	}
+}
+
+// serviceRecal claims and executes l's posted recalibration, if any: the
+// link's stream is drained into a fresh calibration capture and the
+// detector, adapter and published state are rebuilt in place. While it
 // runs, the link's published state carries the Recalibrating flag, so
 // verdict fusion excludes the link (it has no current opinion) instead of
-// reusing its stale last decision. A failed rebuild keeps the old detector —
-// calibrateLink swaps state in only on success — and reports through the
+// reusing its stale last decision. A failed rebuild keeps the old detector
+// — calibrateLink swaps state in only on success — and reports through the
 // job, never by killing the run.
-func (e *Engine) recalibrateOnShard(ctx context.Context, sh *shard, l *link, job *recalJob) {
+//
+// The executor is unique per job: for a live link only the holding shard
+// gets here (queue ownership), and for a retired link only one shard drains
+// the link's deduplicated revive hint. Raising the Recalibrating flag
+// BEFORE emptying the recal slot closes the loop — postRecal checks both,
+// so no second job (whose executor could overlap this one) is accepted
+// until the flag drops after the rebuild. The claim CAS is defensive depth,
+// not the uniqueness argument.
+func (e *Engine) serviceRecal(ctx context.Context, l *link) bool {
+	job := l.recal.Load()
+	if job == nil {
+		return false
+	}
+	l.state.setRecalibrating(true)
+	if !l.recal.CompareAndSwap(job, nil) {
+		l.state.setRecalibrating(false)
+		return false
+	}
 	src := l.src
 	if l.sup != nil {
 		// The producer goroutine owns the raw source while Run is active, so
@@ -964,34 +1114,36 @@ func (e *Engine) recalibrateOnShard(ctx context.Context, sh *shard, l *link, job
 		l.sup.Flush()
 		src = l.sup
 	}
-	l.state.setRecalibrating(true)
 	job.err = e.calibrateLink(ctx, l, job.n, src)
-	l.state.setRecalibrating(false)
 	// A successful rebuild is journaled immediately as a full record — the
 	// walked baseline the deltas were building on just got replaced, so a
 	// crash between here and the link's next scored window must not resume
 	// onto the superseded one.
 	if job.err == nil {
-		sh.journalFull(l)
+		e.jmu.Lock()
+		e.journalFull(l)
+		e.jmu.Unlock()
 	}
-	l.recal.Store(nil)
+	l.state.setRecalibrating(false)
 	close(job.done)
+	return true
 }
 
-// journalFull serializes a complete link record into the shard's buffer and
-// hands it to the journal writer, clearing the link's needFull mark. A
-// serialization failure keeps the mark so the next scored window retries; a
-// shard without a writer leaves the mark for a future journaled Run.
-func (sh *shard) journalFull(l *link) {
-	if sh.jw == nil {
+// journalFull serializes a complete link record into the link's buffer and
+// hands it to the journal writer, clearing the needFull mark. Called with
+// e.jmu held. A serialization failure keeps the mark so the next scored
+// window retries; with no writer the mark survives for a future journaled
+// Run.
+func (e *Engine) journalFull(l *link) {
+	if e.jw == nil {
 		return
 	}
-	rec, err := appendLinkRecord(sh.jrec[:0], l)
+	rec, err := appendLinkRecord(l.jrec[:0], l)
 	if err != nil {
 		return
 	}
-	sh.jrec = rec
-	sh.jw.AppendFull(l.id, rec)
+	l.jrec = rec
+	e.jw.AppendFull(l.id, rec)
 	l.needFull = false
 }
 
@@ -1013,10 +1165,11 @@ const (
 // slab, score against its detector with the shard scratch, let the adapter
 // observe, recycle the frames, publish the decision. done is polled between
 // frames — a non-blocking channel read, a few ns — so cancellation lands
-// mid-window even on slow real-time sources, not a whole shard pass later.
+// mid-window even on slow real-time sources, not a whole queue round later.
 // A supervised link draws from its ingest ring and never blocks: an empty
-// ring parks the partial window in l.win (kept across passes) and returns
-// tickStarved so the shard moves on to its siblings.
+// ring parks the partial window in l.win (kept across turns, following the
+// link if it migrates) and returns tickStarved so the shard moves on to its
+// queue-mates.
 func (e *Engine) tick(done <-chan struct{}, sh *shard, l *link) (tickResult, error) {
 	src := l.src
 	if l.sup != nil {
@@ -1048,6 +1201,7 @@ func (e *Engine) tick(done <-chan struct{}, sh *shard, l *link) (tickResult, err
 	}
 	e.framesSeen.Add(uint64(len(l.win)))
 
+	t0 := time.Now()
 	dec, err := l.det.DetectScratch(l.win, sh.sc)
 	adapter := l.adapter.Load()
 	var health adapt.Health
@@ -1059,23 +1213,39 @@ func (e *Engine) tick(done <-chan struct{}, sh *shard, l *link) (tickResult, err
 	if err != nil {
 		return tickEnded, err
 	}
+	// Smooth the window's scoring cost into the link's EWMA (α = 1/8) —
+	// published with the decision, so operators can see which link the
+	// heavy DSP lives on and why it migrates. The same sample feeds the
+	// shard's busy-time counter: scoring dominates a shard's useful work,
+	// and timing only scored windows keeps the starved-poll path free of
+	// clock calls.
+	elapsed := time.Since(t0)
+	sh.busyNs.Add(int64(elapsed))
+	dt := float64(elapsed)
+	if l.ewmaNs == 0 {
+		l.ewmaNs = dt
+	} else {
+		l.ewmaNs += (dt - l.ewmaNs) * 0.125
+	}
 	threshold := dec.Threshold
 	if adapter != nil {
 		threshold = health.Threshold
 	}
-	l.state.publishDecision(dec, threshold, health)
+	l.state.publishDecision(dec, threshold, health, l.ewmaNs)
 	e.windowsScored.Add(1)
 	if cb := e.cfg.OnDecision; cb != nil {
 		cb(l.id, dec)
 	}
-	if sh.jw != nil {
+	if e.jw != nil {
+		e.jmu.Lock()
 		if l.needFull {
-			sh.journalFull(l)
+			e.journalFull(l)
 		}
 		if adapter != nil {
-			sh.jrec = adapter.AppendDelta(sh.jrec[:0])
-			sh.jw.AppendDelta(l.id, sh.jrec)
+			l.jrec = adapter.AppendDelta(l.jrec[:0])
+			e.jw.AppendDelta(l.id, l.jrec)
 		}
+		e.jmu.Unlock()
 	}
 	return tickScored, nil
 }
@@ -1125,7 +1295,7 @@ func (e *Engine) ScoreWindow(linkID string, window []*csi.Frame) (core.Decision,
 	if adapter != nil {
 		threshold = health.Threshold
 	}
-	l.state.publishDecision(dec, threshold, health)
+	l.state.publishDecision(dec, threshold, health, l.ewmaNs)
 	e.windowsScored.Add(1)
 	e.framesSeen.Add(uint64(len(window)))
 	return dec, nil

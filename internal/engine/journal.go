@@ -1,14 +1,17 @@
 package engine
 
-// JournalWriter receives one shard's stream of link records during Run.
-// Each shard gets its own writer (see JournalSink.NewWriter), so the
-// emission path inherits the shard partition: calls on one writer are
-// always from the single goroutine that owns the shard, and the
-// implementation needs no lock on the append path.
+// JournalWriter receives the fleet's stream of records during Run. The
+// engine uses one writer per sink and serializes appends to it (see
+// Engine.jmu), so the writer sees records in global emission order from one
+// caller at a time — the order a sink can persist wholesale and still offer
+// cut-consistent crash recovery (any durable prefix is a state the fleet
+// actually passed through). The implementation therefore needs no internal
+// lock against the engine; it only coordinates with its own sink's drain
+// side.
 //
-// The record slices are only valid for the duration of the call — the
-// shard reuses its buffer for the next record — so an implementation that
-// retains them must copy.
+// The record slices are only valid for the duration of the call — the link
+// reuses its buffer for the next record — so an implementation that retains
+// them must copy.
 type JournalWriter interface {
 	// AppendFull records a complete ExportLink-format snapshot of a link.
 	// Emitted at the first scored window after (re)calibration, import, or
@@ -17,24 +20,25 @@ type JournalWriter interface {
 	// AppendDelta records an adapter delta (adapt.Adapter.AppendDelta):
 	// the link's absolute mutable state as of the window just scored.
 	AppendDelta(linkID string, record []byte)
-	// Flush hands any buffered records to the sink. Called by the shard on
-	// its way out of a Run, so the journal's last durable state trails the
-	// engine's by at most the sync cadence, never by a whole run.
+	// Flush hands any buffered records to the sink. Called when a link
+	// retires and again at the end of Run, so the journal's last durable
+	// state trails the engine's by at most the sync cadence, never by a
+	// whole run.
 	Flush()
 }
 
-// JournalSink makes per-shard JournalWriters — the factory the fleet
-// journal implements. NewWriter is called under the engine mutex while
-// shards are (re)assigned at Run start.
+// JournalSink makes JournalWriters — the factory the fleet journal
+// implements. The engine calls NewWriter once per installed sink, under the
+// engine mutex at Run start.
 type JournalSink interface {
 	NewWriter() JournalWriter
 }
 
 // SetJournal installs (or, with nil, removes) the journal sink. From the
-// next Run on, every shard emits its links' full records and per-window
-// deltas into writers obtained from the sink. Rejected while Run or a
+// next Run on, every link's full records and per-window deltas are emitted
+// into a writer obtained from the sink. Rejected while Run or a
 // calibration is active: the sink swap must not race shards already
-// holding writers.
+// appending.
 //
 // Installing a sink marks every link for a fresh full record at its first
 // scored window, so the journal is self-contained from the moment it is
@@ -46,9 +50,7 @@ func (e *Engine) SetJournal(sink JournalSink) error {
 		return ErrRunning
 	}
 	e.journal = sink
-	for _, sh := range e.shards {
-		sh.jw = nil
-	}
+	e.jw = nil
 	for _, l := range e.links {
 		l.needFull = true
 	}

@@ -24,10 +24,16 @@ type LinkMetrics struct {
 	LastScore, MeanScore float64
 	// Present is the link's latest verdict.
 	Present bool
+	// NsPerWindowEWMA is the link's smoothed scoring cost in nanoseconds
+	// per window (EWMA, α = 1/8) — the per-link load signal: a link an
+	// order of magnitude above its peers is the one pinning a shard, and
+	// the one work stealing routes around.
+	NsPerWindowEWMA float64
 	// Adaptive reports whether the link runs an adaptation loop.
 	Adaptive bool
 	// Recalibrating reports an online recalibration in progress on the
-	// link's owning shard (the link is excluded from fusion until it ends).
+	// shard holding the link (the link is excluded from fusion until it
+	// ends).
 	Recalibrating bool
 	// Health is the link's adaptation snapshot (zero value when Adaptive is
 	// false). Its Lifecycle field mirrors the Lifecycle below.
@@ -41,6 +47,23 @@ type LinkMetrics struct {
 	Reconnects  uint64
 }
 
+// ShardMetrics is one scoring shard's scheduler counters, cumulative across
+// Runs (shards persist between Runs; counters reset only when the shard set
+// is rebuilt for a different worker count).
+type ShardMetrics struct {
+	// WindowsScored counts windows this shard scored, whichever links they
+	// came from.
+	WindowsScored uint64
+	// Steals counts links this shard took from a sibling's queue.
+	Steals uint64
+	// Utilization is the fraction of active Run time this shard spent
+	// scoring windows rather than polling or idling — the load-balance
+	// signal: under a skewed fleet with static affinity the shard pinned
+	// on the heavy link sits near 1.0 while its siblings idle; with
+	// stealing the spread tightens.
+	Utilization float64
+}
+
 // Metrics is a consistent-enough snapshot of the engine's counters.
 type Metrics struct {
 	// Links is the fleet size.
@@ -51,8 +74,12 @@ type Metrics struct {
 	// ScoresPerSec is windows scored per second of active Run time (0 before
 	// the first Run).
 	ScoresPerSec float64
+	// Steals counts link migrations between shards (sum over Shards).
+	Steals uint64
 	// PerLink holds one entry per link in registration order.
 	PerLink []LinkMetrics
+	// Shards holds one entry per scoring shard.
+	Shards []ShardMetrics
 }
 
 // Metrics snapshots the engine's counters and per-link state.
@@ -68,6 +95,7 @@ func (e *Engine) Metrics() Metrics {
 // snapshots: a Metrics poll never blocks a scoring shard.
 func (e *Engine) MetricsInto(m *Metrics) {
 	perLink := m.PerLink[:0]
+	shards := m.Shards[:0]
 	var snap linkSnap
 	e.mu.Lock()
 	active := time.Duration(e.runNanos.Load())
@@ -81,19 +109,35 @@ func (e *Engine) MetricsInto(m *Metrics) {
 	if secs := active.Seconds(); secs > 0 {
 		m.ScoresPerSec = float64(m.WindowsScored) / secs
 	}
+	m.Steals = 0
+	for _, sh := range e.shards {
+		sm := ShardMetrics{
+			WindowsScored: sh.windows.Load(),
+			Steals:        sh.steals.Load(),
+		}
+		if active > 0 {
+			sm.Utilization = float64(sh.busyNs.Load()) / float64(active)
+			if sm.Utilization > 1 {
+				sm.Utilization = 1
+			}
+		}
+		m.Steals += sm.Steals
+		shards = append(shards, sm)
+	}
 	for _, l := range e.links {
 		l.state.load(&snap)
 		lm := LinkMetrics{
-			ID:            l.id,
-			Calibrated:    snap.Calibrated,
-			MeanMu:        snap.MeanMu,
-			Threshold:     snap.Threshold,
-			WindowsScored: snap.Windows,
-			LastScore:     snap.Last.Score,
-			Present:       snap.Last.Present,
-			Adaptive:      snap.Adaptive,
-			Recalibrating: snap.Recalibrating,
-			Health:        snap.Health,
+			ID:              l.id,
+			Calibrated:      snap.Calibrated,
+			MeanMu:          snap.MeanMu,
+			Threshold:       snap.Threshold,
+			WindowsScored:   snap.Windows,
+			LastScore:       snap.Last.Score,
+			NsPerWindowEWMA: snap.NsPerWindowEWMA,
+			Present:         snap.Last.Present,
+			Adaptive:        snap.Adaptive,
+			Recalibrating:   snap.Recalibrating,
+			Health:          snap.Health,
 		}
 		if snap.Windows > 0 {
 			lm.MeanScore = snap.ScoreSum / float64(snap.Windows)
@@ -111,4 +155,5 @@ func (e *Engine) MetricsInto(m *Metrics) {
 	}
 	e.mu.Unlock()
 	m.PerLink = perLink
+	m.Shards = shards
 }

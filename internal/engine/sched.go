@@ -1,0 +1,128 @@
+package engine
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// linkQueue is a fixed-capacity single-producer/multi-consumer FIFO ring of
+// links — one per shard, holding the links currently resident there. The
+// owning shard pushes a link back after each window (bottom, plain store +
+// publish) and takes its next link from the top; idle shards steal by taking
+// from the same top with the same CAS, so "steal" and "next" are one
+// operation and a stolen link simply migrates to the thief's ring. FIFO
+// order keeps the shard cycling its residents round-robin — a link with
+// frames always buffered can never starve its ring-mates, which both
+// fairness and the quota-run termination of Run depend on.
+//
+// Safety: top only grows (no ABA on the take CAS), and capacity is a power
+// of two strictly greater than the fleet size — a link lives in at most one
+// ring at a time, so bottom-top ≤ links < capacity and the producer can
+// never wrap onto a slot a consumer still races for. Go's atomics are
+// sequentially consistent, and the same operations order each link's
+// unsynchronized owner-partition fields (window slab, scored count, journal
+// buffer, adapter/detector) between consecutive owners: whoever takes the
+// link observes everything its previous owner wrote before pushing it.
+type linkQueue struct {
+	top    atomic.Int64
+	bottom atomic.Int64
+	mask   int64
+	buf    []atomic.Pointer[link]
+}
+
+// reset empties the queue and (re)sizes it for a fleet of `links` links.
+// Owner-free context only (Run start, under the engine mutex).
+func (q *linkQueue) reset(links int) {
+	n := 1
+	for n < links+1 {
+		n <<= 1
+	}
+	if len(q.buf) != n {
+		q.buf = make([]atomic.Pointer[link], n)
+	}
+	q.mask = int64(n - 1)
+	q.top.Store(0)
+	q.bottom.Store(0)
+}
+
+// push appends l at the bottom. Owning shard only.
+func (q *linkQueue) push(l *link) {
+	b := q.bottom.Load()
+	q.buf[b&q.mask].Store(l)
+	q.bottom.Store(b + 1)
+}
+
+// take removes the oldest link, or returns nil when the queue is empty or
+// the CAS loses to a concurrent taker. Any goroutine.
+func (q *linkQueue) take() *link {
+	t := q.top.Load()
+	if t >= q.bottom.Load() {
+		return nil
+	}
+	l := q.buf[t&q.mask].Load()
+	if !q.top.CompareAndSwap(t, t+1) {
+		return nil
+	}
+	return l
+}
+
+// size reports the current occupancy. Racy by nature; used only to gate
+// stealing (leave a victim its last resident link) and the idle heuristic.
+func (q *linkQueue) size() int64 {
+	n := q.bottom.Load() - q.top.Load()
+	if n < 0 {
+		return 0
+	}
+	return n
+}
+
+// reviveQueue holds hints that a retired link (quota met or stream ended)
+// has a posted recalibration job waiting: retired links are in no ring, so
+// without a revive path a recal posted after retirement would sit unserviced
+// until the run ends. Hints are deduplicated through link.hinted and pushed
+// by whichever side of the post/retire race sees the other (both may try);
+// any shard drains them between takes. Cold path — a mutex is fine here, the
+// scoring loop only ever reads the count atomically.
+type reviveQueue struct {
+	mu    sync.Mutex
+	count atomic.Int32
+	links []*link
+}
+
+// reset clears the queue for a new Run. Under the engine mutex.
+func (rq *reviveQueue) reset(capacity int) {
+	rq.mu.Lock()
+	if cap(rq.links) < capacity {
+		rq.links = make([]*link, 0, capacity)
+	}
+	rq.links = rq.links[:0]
+	rq.count.Store(0)
+	rq.mu.Unlock()
+}
+
+// push enqueues a hint for l unless one is already queued.
+func (rq *reviveQueue) push(l *link) {
+	if !l.hinted.CompareAndSwap(false, true) {
+		return
+	}
+	rq.mu.Lock()
+	rq.links = append(rq.links, l)
+	rq.count.Store(int32(len(rq.links)))
+	rq.mu.Unlock()
+}
+
+// drain appends all queued hints to dst and clears the queue.
+func (rq *reviveQueue) drain(dst []*link) []*link {
+	if rq.count.Load() == 0 {
+		return dst
+	}
+	rq.mu.Lock()
+	dst = append(dst, rq.links...)
+	rq.links = rq.links[:0]
+	rq.count.Store(0)
+	rq.mu.Unlock()
+	for _, l := range dst {
+		l.hinted.Store(false)
+	}
+	return dst
+}

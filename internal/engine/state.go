@@ -14,15 +14,18 @@ type linkSnap struct {
 	Calibrated bool
 	Adaptive   bool
 	// Recalibrating is set while an online recalibration is rebuilding the
-	// link's baseline on its owning shard; fusion excludes the link until
-	// the rebuild lands.
+	// link's baseline on the shard that claimed the job; fusion excludes
+	// the link until the rebuild lands.
 	Recalibrating bool
 	MeanMu        float64
 	Threshold     float64
 	Windows       uint64
 	ScoreSum      float64
-	Last          core.Decision
-	Health        adapt.Health
+	// NsPerWindowEWMA is the link's smoothed scoring cost in nanoseconds
+	// per window (α = 1/8) — the load signal behind shard rebalancing.
+	NsPerWindowEWMA float64
+	Last            core.Decision
+	Health          adapt.Health
 }
 
 // linkState atomically publishes linkSnap values through a sequence lock
@@ -43,6 +46,7 @@ type linkState struct {
 	decThr     atomic.Uint64 // threshold the last decision was made against
 	windows    atomic.Uint64
 	scoreSum   atomic.Uint64
+	ewmaNs     atomic.Uint64
 	score      atomic.Uint64
 	present    atomic.Bool
 	health     adapt.AtomicHealth // guarded by seq like every other field
@@ -67,12 +71,20 @@ func (st *linkState) setRecalibrating(on bool) {
 	st.seq.Add(1)
 }
 
+// recalibrating reads the Recalibrating flag alone — a single atomic load,
+// no seqlock round trip. postRecal's pending check is the caller.
+func (st *linkState) recalibrating() bool {
+	return st.recal.Load()
+}
+
 // publishDecision folds one scored window into the published state.
-// threshold is the link's current decision threshold (post-adaptation).
-func (st *linkState) publishDecision(dec core.Decision, threshold float64, h adapt.Health) {
+// threshold is the link's current decision threshold (post-adaptation);
+// ewmaNs the link's smoothed per-window scoring cost.
+func (st *linkState) publishDecision(dec core.Decision, threshold float64, h adapt.Health, ewmaNs float64) {
 	st.seq.Add(1)
 	st.windows.Store(st.windows.Load() + 1)
 	st.scoreSum.Store(math.Float64bits(math.Float64frombits(st.scoreSum.Load()) + dec.Score))
+	st.ewmaNs.Store(math.Float64bits(ewmaNs))
 	st.score.Store(math.Float64bits(dec.Score))
 	st.present.Store(dec.Present)
 	st.decThr.Store(math.Float64bits(dec.Threshold))
@@ -91,13 +103,14 @@ func (st *linkState) load(dst *linkSnap) {
 			continue
 		}
 		*dst = linkSnap{
-			Calibrated:    st.calibrated.Load(),
-			Adaptive:      st.adaptive.Load(),
-			Recalibrating: st.recal.Load(),
-			MeanMu:        math.Float64frombits(st.meanMu.Load()),
-			Threshold:     math.Float64frombits(st.threshold.Load()),
-			Windows:       st.windows.Load(),
-			ScoreSum:      math.Float64frombits(st.scoreSum.Load()),
+			Calibrated:      st.calibrated.Load(),
+			Adaptive:        st.adaptive.Load(),
+			Recalibrating:   st.recal.Load(),
+			MeanMu:          math.Float64frombits(st.meanMu.Load()),
+			Threshold:       math.Float64frombits(st.threshold.Load()),
+			Windows:         st.windows.Load(),
+			ScoreSum:        math.Float64frombits(st.scoreSum.Load()),
+			NsPerWindowEWMA: math.Float64frombits(st.ewmaNs.Load()),
 			Last: core.Decision{
 				Present:   st.present.Load(),
 				Score:     math.Float64frombits(st.score.Load()),

@@ -89,16 +89,19 @@ type latestRec struct {
 
 // Journal is crash-safe online persistence for a running engine: an
 // append-only, CRC-framed record log (see binio's journal framing) that
-// engine shards emit full link records and per-window deltas into, made
+// the engine emits full link records and per-window deltas into, made
 // durable by a background syncer on a configurable cadence and periodically
 // compacted into ordinary Store snapshots.
 //
-// The write path is wait-free for the shards: each shard owns a
-// journalWriter whose buffers hand off to the syncer through single-
-// producer/single-consumer atomics — no locks, no allocations, and never a
-// disk stall on the scoring path. A crash (or kill) at any byte loses at
-// most the records since the last sync; reopening detects the torn tail by
-// CRC, truncates it, and resumes the walked baselines bit-for-bit from the
+// The write path never touches the disk or the journal mutex: the engine's
+// single writer (appends serialized by the engine, in global emission
+// order) buffers records into a journalWriter whose buffers hand off to
+// the syncer through single-producer/single-consumer atomics — no
+// allocations, and never a disk stall on the scoring path. Because the
+// file preserves emission order, every durable prefix is a cut the fleet
+// actually passed through. A crash (or kill) at any byte loses at most the
+// records since the last sync; reopening detects the torn tail by CRC,
+// truncates it, and resumes the walked baselines bit-for-bit from the
 // surviving prefix.
 type Journal struct {
 	dir   string
@@ -239,7 +242,9 @@ func (j *Journal) absorb(payload []byte) error {
 	return nil
 }
 
-// NewWriter hands out a per-shard writer (engine.JournalSink).
+// NewWriter hands out an emission endpoint (engine.JournalSink). The
+// engine creates one per installed sink and serializes its own appends to
+// it; the writer's SPSC handoff assumes that external serialization.
 func (j *Journal) NewWriter() engine.JournalWriter {
 	w := &journalWriter{j: j, active: &jbuf{}}
 	w.spare.Store(&jbuf{})
@@ -469,13 +474,14 @@ func (j *Journal) Close() error {
 // jbuf is one handoff buffer of framed records.
 type jbuf struct{ b []byte }
 
-// journalWriter is one shard's emission endpoint: a two-buffer single-
-// producer/single-consumer handoff. The shard frames records into the
-// active buffer and, whenever the syncer is not holding one, hands it off
-// by a single atomic store; the syncer returns consumed buffers through
-// spare. The scoring path therefore never takes a lock, never blocks on
-// the disk, and — once the two buffers have grown to the workload's high-
-// water mark — never allocates.
+// journalWriter is the engine's emission endpoint: a two-buffer single-
+// producer/single-consumer handoff. The producer (appends are serialized
+// by the engine) frames records into the active buffer and, whenever the
+// syncer is not holding one, hands it off by a single atomic store; the
+// syncer returns consumed buffers through spare. The scoring path
+// therefore never takes the journal mutex, never blocks on the disk, and —
+// once the two buffers have grown to the workload's high-water mark —
+// never allocates.
 type journalWriter struct {
 	j       *Journal
 	active  *jbuf
