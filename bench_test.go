@@ -638,10 +638,11 @@ func BenchmarkEngineSteadyStateJournal(b *testing.B) {
 
 // BenchmarkEngineSteadyStateSkewed measures the scheduler's answer to a
 // lopsided fleet: one link runs the MUSIC-weighted SchemeSubcarrierPath
-// detector — an order of magnitude more DSP per window than its 15
-// SchemeSubcarrier peers — so under static affinity the shard seeded with
-// the heavy link drags its queue-mates and, once they retire, idles three
-// of four workers behind it. The stealing/static sub-benchmark pair
+// detector on a fine 0.05° angular grid (3601 steering rows against the
+// default 181 — a survey-grade localization link) — several times more DSP
+// per window than its 15 SchemeSubcarrier peers — so under static affinity
+// the shard seeded with the heavy link drags its queue-mates and, once they
+// retire, idles three of four workers behind it. The stealing/static sub-benchmark pair
 // isolates the work-stealing win: on a multi-core host stealing finishes
 // the same fleet quota measurably sooner because the cheap links drain
 // through whichever shards have capacity while one shard grinds the heavy
@@ -664,6 +665,9 @@ func BenchmarkEngineSteadyStateSkewed(b *testing.B) {
 				scheme = core.SchemeSubcarrierPath
 			}
 			cfg := core.DefaultConfig(s.Grid, scheme, s.Env.RX.Offsets())
+			if i == 0 {
+				cfg.SpectrumStepDeg = 0.05
+			}
 			if err := e.AddLink(fmt.Sprintf("l%d", i), cfg, engine.NewReplaySource(frames, true)); err != nil {
 				b.Fatal(err)
 			}
@@ -689,6 +693,40 @@ func BenchmarkEngineSteadyStateSkewed(b *testing.B) {
 	for _, w := range []int{1, 4} {
 		b.Run(fmt.Sprintf("stealing/workers=%d", w), func(b *testing.B) { run(b, w, false) })
 		b.Run(fmt.Sprintf("static/workers=%d", w), func(b *testing.B) { run(b, w, true) })
+	}
+}
+
+// BenchmarkDetectorScorePath measures one full path-weighted window score —
+// sanitize, subcarrier weights, monitor covariance + Bartlett angular
+// spectrum, calibration spectrum from the profile's spectral partials,
+// path-weighted distance — i.e. the per-window cost of the heavy link in the
+// skewed fleet (SchemeSubcarrierPath, §IV-C). The profile is calibrated with
+// the engine's 60-frame horizon so the calibration-side covariance cost is
+// the one the daemon pays. Steady state must be 0 allocs/op, and benchcheck
+// pins the PR 9 precomputation win (cached steering table + per-profile
+// spectral partials) via prev_ns_per_op/min_speedup.
+func BenchmarkDetectorScorePath(b *testing.B) {
+	s, frames := engineFixture(b)
+	cfg := core.DefaultConfig(s.Grid, core.SchemeSubcarrierPath, s.Env.RX.Offsets())
+	profile, err := core.Calibrate(cfg, frames[:60])
+	if err != nil {
+		b.Fatal(err)
+	}
+	det, err := core.NewDetector(cfg, profile)
+	if err != nil {
+		b.Fatal(err)
+	}
+	window := frames[100:125]
+	sc := core.NewScratch()
+	if _, err := det.ScoreScratch(window, sc); err != nil { // warm the scratch
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := det.ScoreScratch(window, sc); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 

@@ -117,6 +117,13 @@ type Profile struct {
 	// monitoring stage re-weights calibration data with monitor-derived
 	// subcarrier weights (§IV-C).
 	Frames []*csi.Frame
+	// Partials are the per-subcarrier covariance partials of Frames — a
+	// derived cache that lets scoring re-weight the calibration covariance
+	// at O(nSub·nAnt²) per window instead of touching every frame. Rebuilt
+	// wherever Frames are (re)established (Calibrate, persistence restore);
+	// never serialized. Nil is legal (hand-assembled profiles): scoring
+	// derives them transiently.
+	Partials *music.Partials
 }
 
 // Calibrate builds the static profile from no-presence frames.
@@ -156,6 +163,10 @@ func Calibrate(cfg Config, frames []*csi.Frame) (*Profile, error) {
 		p.PathWeights, err = PathWeights(spec, cfg.PathWeight)
 		if err != nil {
 			return nil, fmt.Errorf("path weights: %w", err)
+		}
+		p.Partials, err = music.NewPartials(prep)
+		if err != nil {
+			return nil, fmt.Errorf("spectral partials: %w", err)
 		}
 	}
 	return p, nil
@@ -283,7 +294,9 @@ func (d *Detector) MeasureWindow(ws *WindowStats, window []*csi.Frame, sc *Scrat
 }
 
 // toDB converts a power spectrum to decibels (floored well below any
-// physical level to keep the distance finite).
+// physical level to keep the distance finite). It is the allocating
+// reference for Spectrum.ToDBInPlace, retained for the property tests that
+// pin the scratch-backed scoring path to the naive one.
 func toDB(s *music.Spectrum) *music.Spectrum {
 	out := &music.Spectrum{
 		AnglesDeg: append([]float64(nil), s.AnglesDeg...),

@@ -9,8 +9,15 @@
 // CalibrateThreshold fix the decision threshold from the profile's own
 // variations, and Score/Detect judge monitoring windows. Long-lived scoring
 // workers pass a reusable Scratch to ScoreScratch/DetectScratch to keep the
-// per-window hot path nearly allocation-free (internal/engine does this per
-// pool worker).
+// per-window hot path allocation-free (internal/engine does this per pool
+// worker). That holds for every scheme, including the angular
+// SchemeSubcarrierPath: the Kernel carries a precomputed music.Plan
+// (steering table), the Profile carries music.Partials of its calibration
+// frames (rebuilt wherever Frames are established — Calibrate, persistence
+// restore — and carried by reference through refresh/adopt, since those
+// never change Frames), and the Scratch holds the window covariances and
+// spectra, fully rewritten each window so scores are bit-identical across
+// scratches and shard migrations.
 //
 // The detector is split into an immutable scoring Kernel and mutable link
 // state so profiles can adapt online: LinkProfile applies EWMA refreshes

@@ -16,6 +16,10 @@ import (
 // workers can keep a Kernel forever without synchronization.
 type Kernel struct {
 	cfg Config
+	// plan is the precomputed steering table for SchemeSubcarrierPath (nil
+	// otherwise) — built once here, shared read-only by every worker that
+	// scores through this kernel, never rebuilt per window.
+	plan *music.Plan
 }
 
 // NewKernel validates the config and wraps it as a scoring kernel.
@@ -23,7 +27,17 @@ func NewKernel(cfg Config) (*Kernel, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
-	return &Kernel{cfg: cfg}, nil
+	k := &Kernel{cfg: cfg}
+	if cfg.Scheme == SchemeSubcarrierPath {
+		est, err := newEstimator(cfg)
+		if err != nil {
+			return nil, err
+		}
+		if k.plan, err = est.NewPlan(); err != nil {
+			return nil, fmt.Errorf("steering plan: %w", err)
+		}
+	}
+	return k, nil
 }
 
 // Config returns the kernel's configuration.
@@ -277,34 +291,42 @@ func (k *Kernel) scoreSubcarrier(profile *Profile, window []*csi.Frame, sc *Scra
 // per-direction received power, so on-path attenuation and off-path echoes
 // both register — while the Eq. 17 path weights, derived from the static
 // MUSIC pseudospectrum at calibration, amplify the NLOS directions.
+//
+// The whole computation is allocation-free at steady state: the monitor
+// covariance accumulates through the scratch's per-subcarrier partials, the
+// calibration covariance is a weight-combine of the profile's precomputed
+// partials (the frames themselves are never touched per window), and both
+// Bartlett spectra run over the kernel's cached steering table. Every
+// scratch buffer is fully rewritten per window, so a link migrating between
+// shards reproduces bit-identical spectra on its new holder's scratch.
 func (k *Kernel) scoreSubcarrierPath(profile *Profile, window []*csi.Frame, sc *Scratch) (float64, error) {
 	perAnt, err := k.windowWeights(window, sc)
 	if err != nil {
 		return 0, err
 	}
-	w, err := AverageWeightVectors(perAnt)
-	if err != nil {
+	w := growFloats(&sc.wavg, window[0].NumSubcarriers())
+	if err := AverageWeightVectorsInto(w, perAnt); err != nil {
 		return 0, err
 	}
-	est, err := newEstimator(k.cfg)
-	if err != nil {
-		return 0, err
-	}
-	monCov, err := music.Covariance(window, w)
-	if err != nil {
+	if err := music.CovarianceInto(&sc.monCov, window, w, &sc.winPartials); err != nil {
 		return 0, fmt.Errorf("monitor covariance: %w", err)
 	}
-	monSpec, err := est.Bartlett(monCov)
-	if err != nil {
+	if err := k.plan.BartlettInto(&sc.monSpec, &sc.monCov); err != nil {
 		return 0, fmt.Errorf("monitor spectrum: %w", err)
 	}
-	calCov, err := music.Covariance(profile.Frames, w)
-	if err != nil {
+	parts := profile.Partials
+	if parts == nil {
+		// A profile assembled outside Calibrate carries no cached partials;
+		// derive them transiently (one allocation, not steady state).
+		if parts, err = music.NewPartials(profile.Frames); err != nil {
+			return 0, fmt.Errorf("calibration covariance: %w", err)
+		}
+	}
+	if err := parts.CovarianceInto(&sc.calCov, w); err != nil {
 		return 0, fmt.Errorf("calibration covariance: %w", err)
 	}
-	calSpec, err := est.Bartlett(calCov)
-	if err != nil {
+	if err := k.plan.BartlettInto(&sc.calSpec, &sc.calCov); err != nil {
 		return 0, fmt.Errorf("calibration spectrum: %w", err)
 	}
-	return WeightedSpectrumDistance(toDB(monSpec), toDB(calSpec), profile.PathWeights)
+	return weightedSpectrumDistanceDB(&sc.monSpec, &sc.calSpec, profile.PathWeights)
 }

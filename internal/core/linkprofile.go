@@ -16,9 +16,12 @@ import (
 // Refresh is copy-on-write: every update allocates fresh mean rows and
 // returns a brand-new *Profile, so scorers holding an older snapshot are
 // never raced. Spectrum-derived fields (StaticSpectrum, PathWeights,
-// Frames) are carried over by reference — the EWMA scheme adapts the
-// amplitude fingerprints only; a walked angular profile is what quarantine
-// and recalibration are for.
+// Frames, Partials) are carried over by reference — the EWMA scheme adapts
+// the amplitude fingerprints only; a walked angular profile is what
+// quarantine and recalibration are for. Partials ride along safely because
+// they are a pure function of Frames, which a refresh never changes; a
+// recalibration builds a whole new Profile (with fresh partials) through
+// Calibrate.
 type LinkProfile struct {
 	orig  *Profile
 	cur   *Profile
@@ -86,6 +89,7 @@ func (lp *LinkProfile) Refresh(ws *WindowStats) (*Profile, error) {
 		StaticSpectrum: lp.cur.StaticSpectrum,
 		PathWeights:    lp.cur.PathWeights,
 		Frames:         lp.cur.Frames,
+		Partials:       lp.cur.Partials,
 	}
 	a := lp.alpha
 	for ant := 0; ant < nAnt; ant++ {
@@ -127,6 +131,7 @@ func (lp *LinkProfile) Adopt(ws *WindowStats) (*Profile, error) {
 		StaticSpectrum: lp.cur.StaticSpectrum,
 		PathWeights:    lp.cur.PathWeights,
 		Frames:         lp.cur.Frames,
+		Partials:       lp.cur.Partials,
 	}
 	for ant := 0; ant < nAnt; ant++ {
 		for k := 0; k < nSub; k++ {

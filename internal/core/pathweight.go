@@ -83,3 +83,43 @@ func WeightedSpectrumDistance(mon, cal *music.Spectrum, weights []float64) (floa
 	}
 	return math.Sqrt(num / den), nil
 }
+
+// weightedSpectrumDistanceDB computes
+// WeightedSpectrumDistance(toDB(mon), toDB(cal), weights) straight from the
+// linear power spectra: zero-weight angles contribute nothing to either sum
+// term that depends on the spectra, so only the weighted angles pay a
+// logarithm — and each pays one, 10·log₁₀(mon/cal) with both sides floored
+// at 1e-30 as in toDB, instead of two. The hot scoring path uses this form;
+// the property tests pin it to the naive toDB composition (the float
+// difference of log(m)−log(c) versus log(m/c) is ~1e-15 relative).
+func weightedSpectrumDistanceDB(mon, cal *music.Spectrum, weights []float64) (float64, error) {
+	if mon == nil || cal == nil {
+		return 0, fmt.Errorf("nil spectrum: %w", ErrBadInput)
+	}
+	n := len(mon.Power)
+	if n == 0 || len(cal.Power) != n || len(weights) != n {
+		return 0, fmt.Errorf("spectrum/weight lengths %d/%d/%d: %w", n, len(cal.Power), len(weights), ErrBadInput)
+	}
+	var num, den float64
+	for i := 0; i < n; i++ {
+		w := weights[i]
+		den += w
+		if w == 0 {
+			continue
+		}
+		m := mon.Power[i]
+		if m < 1e-30 {
+			m = 1e-30
+		}
+		c := cal.Power[i]
+		if c < 1e-30 {
+			c = 1e-30
+		}
+		d := 10 * math.Log10(m/c)
+		num += w * d * d
+	}
+	if den == 0 {
+		return 0, fmt.Errorf("all-zero path weights: %w", ErrBadInput)
+	}
+	return math.Sqrt(num / den), nil
+}

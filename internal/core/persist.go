@@ -186,7 +186,20 @@ func readProfile(r *binio.Reader) (*Profile, error) {
 		}
 		p.Frames = append(p.Frames, f)
 	}
-	return p, r.Err()
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	// Partials are a derived cache, not wire state: rebuild them from the
+	// decoded frames so a restored path-weighted profile scores through the
+	// same O(nSub·nAnt²) combine as a freshly calibrated one. The wire
+	// format is unchanged.
+	if p.StaticSpectrum != nil && len(p.Frames) > 0 {
+		var err error
+		if p.Partials, err = music.NewPartials(p.Frames); err != nil {
+			return nil, fmt.Errorf("rebuild spectral partials: %w", err)
+		}
+	}
+	return p, nil
 }
 
 // UnmarshalProfile decodes a Profile serialized by AppendBinary. The whole
@@ -217,8 +230,8 @@ func (lp *LinkProfile) AppendBinary(dst []byte) ([]byte, error) {
 	if dst, err = lp.orig.AppendBinary(dst); err != nil {
 		return nil, fmt.Errorf("link profile original: %w", err)
 	}
-	// The adapted profile shares spectrum/path-weights/frames with the
-	// original by construction (Refresh and Adopt carry them over by
+	// The adapted profile shares spectrum/path-weights/frames/partials with
+	// the original by construction (Refresh and Adopt carry them over by
 	// reference), so only its fingerprints are stored.
 	dst = appendGrid2(dst, lp.cur.MeanAmp)
 	dst = appendGrid2(dst, lp.cur.MeanRSSdB)
@@ -269,6 +282,7 @@ func readLinkProfile(r *binio.Reader) (*LinkProfile, error) {
 			StaticSpectrum: orig.StaticSpectrum,
 			PathWeights:    orig.PathWeights,
 			Frames:         orig.Frames,
+			Partials:       orig.Partials,
 		}
 	}
 	lp.refreshes = refreshes
@@ -348,6 +362,7 @@ func (lp *LinkProfile) RestoreAdapted(st AdaptedState) error {
 			StaticSpectrum: lp.orig.StaticSpectrum,
 			PathWeights:    lp.orig.PathWeights,
 			Frames:         lp.orig.Frames,
+			Partials:       lp.orig.Partials,
 		}
 	}
 	lp.refreshes = st.Refreshes

@@ -7,6 +7,8 @@ import (
 	"mlink/internal/channel"
 	"mlink/internal/csi"
 	"mlink/internal/dsp"
+	"mlink/internal/linalg"
+	"mlink/internal/music"
 	"mlink/internal/sanitize"
 )
 
@@ -55,6 +57,17 @@ type Scratch struct {
 	wSlab  []float64   // contiguous backing for wrows
 	med    []float64   // median-selection work row
 	sw     SubcarrierWeights
+
+	// Angular-scheme buffers (SchemeSubcarrierPath): the averaged
+	// subcarrier-weight row, the monitor window's covariance partials, the
+	// combined covariance matrices and the two Bartlett spectra. All are
+	// fully rewritten every window, so a link migrating between shards
+	// (work stealing) carries no angular state — the new holder's scratch
+	// reproduces bit-identical spectra.
+	wavg             []float64
+	winPartials      music.Partials
+	monCov, calCov   linalg.Matrix
+	monSpec, calSpec music.Spectrum
 
 	// Reusable sanitized-window frames.
 	san sanitize.Scratch

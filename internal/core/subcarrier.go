@@ -155,18 +155,36 @@ func AverageWeightVectors(vectors [][]float64) ([]float64, error) {
 	if len(vectors) == 0 {
 		return nil, fmt.Errorf("no vectors: %w", ErrBadInput)
 	}
-	n := len(vectors[0])
-	out := make([]float64, n)
-	for vi, v := range vectors {
-		if len(v) != n {
-			return nil, fmt.Errorf("vector %d length %d, want %d: %w", vi, len(v), n, ErrBadInput)
-		}
-		for i, x := range v {
-			out[i] += x
-		}
-	}
-	for i := range out {
-		out[i] /= float64(len(vectors))
+	out := make([]float64, len(vectors[0]))
+	if err := AverageWeightVectorsInto(out, vectors); err != nil {
+		return nil, err
 	}
 	return out, nil
+}
+
+// AverageWeightVectorsInto is AverageWeightVectors writing into a caller
+// buffer of the vectors' common length.
+func AverageWeightVectorsInto(dst []float64, vectors [][]float64) error {
+	if len(vectors) == 0 {
+		return fmt.Errorf("no vectors: %w", ErrBadInput)
+	}
+	n := len(vectors[0])
+	if len(dst) != n {
+		return fmt.Errorf("dst length %d, want %d: %w", len(dst), n, ErrBadInput)
+	}
+	for i := range dst {
+		dst[i] = 0
+	}
+	for vi, v := range vectors {
+		if len(v) != n {
+			return fmt.Errorf("vector %d length %d, want %d: %w", vi, len(v), n, ErrBadInput)
+		}
+		for i, x := range v {
+			dst[i] += x
+		}
+	}
+	for i := range dst {
+		dst[i] /= float64(len(vectors))
+	}
+	return nil
 }

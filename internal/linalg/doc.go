@@ -7,4 +7,13 @@
 // implements a cyclic Jacobi eigensolver from scratch. Sizes are small
 // (antenna counts, subcarrier counts), so clarity is favoured over blocking
 // or SIMD tricks.
+//
+// Hot-path callers avoid per-call allocation through the workspace surface:
+// EigWorkspace owns the Jacobi solver's working matrices and result storage
+// and may be reused across solves of any size (EigHermitian is a transient-
+// workspace wrapper around it), and Matrix.Reuse/CopyFrom/SetIdentity plus
+// MulVecInto let covariance and spectrum code write into caller-owned
+// buffers. Workspace results are overwritten by the next solve on that
+// workspace; callers needing two decompositions at once copy or use two
+// workspaces.
 package linalg

@@ -5,7 +5,6 @@ import (
 	"fmt"
 	"math"
 	"math/cmplx"
-	"sort"
 )
 
 // ErrNotHermitian is returned by EigHermitian when the input is not
@@ -29,11 +28,35 @@ const (
 	maxSweeps    = 64
 )
 
+// EigWorkspace owns the Jacobi eigensolver's working storage — the matrix
+// copy driven to diagonal form, the accumulated rotations, the sort
+// scratch and the result itself — so a long-lived caller (a scoring worker,
+// a recalibration loop) decomposes covariance matrices without allocating
+// once the buffers have grown to the problem size. The zero value is ready
+// to use. A workspace must not be shared between goroutines, and the Eigen
+// returned by its EigHermitian is overwritten by the next call.
+type EigWorkspace struct {
+	w, v Matrix // working copy and accumulated rotations
+	vals []float64
+	idx  []int
+	out  Eigen
+}
+
 // EigHermitian computes the full eigendecomposition of a Hermitian matrix by
 // the cyclic complex Jacobi method. It is O(n³) per sweep and intended for
 // the small matrices (antenna covariance, a handful of elements) used in
-// this repository.
+// this repository. The returned Eigen is freshly allocated; hot paths that
+// decompose repeatedly should hold an EigWorkspace and call its method
+// instead.
 func EigHermitian(a *Matrix) (*Eigen, error) {
+	var ws EigWorkspace
+	return ws.EigHermitian(a)
+}
+
+// EigHermitian is the allocation-free form of the package-level
+// EigHermitian: the working matrices, sort scratch and result all live in
+// (and are reused from) the workspace.
+func (ws *EigWorkspace) EigHermitian(a *Matrix) (*Eigen, error) {
 	if a.Rows() != a.Cols() {
 		return nil, fmt.Errorf("eig of %dx%d: %w", a.Rows(), a.Cols(), ErrDimensionMismatch)
 	}
@@ -45,13 +68,18 @@ func EigHermitian(a *Matrix) (*Eigen, error) {
 		return nil, ErrNotHermitian
 	}
 	n := a.Rows()
-	w := a.Clone() // working copy, driven to diagonal form
-	v := Identity(n)
+	w, v := &ws.w, &ws.v
+	w.Reuse(n, n)
+	if err := w.CopyFrom(a); err != nil {
+		return nil, err
+	}
+	v.Reuse(n, n)
+	v.SetIdentity()
 
 	for sweep := 0; sweep < maxSweeps; sweep++ {
 		off := offDiagNorm(w)
 		if off <= 1e-14*scale {
-			return collectEigen(w, v), nil
+			return ws.collect(), nil
 		}
 		for p := 0; p < n-1; p++ {
 			for q := p + 1; q < n; q++ {
@@ -60,7 +88,7 @@ func EigHermitian(a *Matrix) (*Eigen, error) {
 		}
 	}
 	if offDiagNorm(w) <= 1e-10*scale {
-		return collectEigen(w, v), nil
+		return ws.collect(), nil
 	}
 	return nil, ErrNoConvergence
 }
@@ -135,24 +163,55 @@ func jacobiRotate(w, v *Matrix, p, q int) {
 	w.Set(q, q, complex(real(w.At(q, q)), 0))
 }
 
-// collectEigen extracts sorted (descending) eigenpairs from the diagonalized
-// working matrix and accumulated rotations.
-func collectEigen(w, v *Matrix) *Eigen {
-	n := w.Rows()
-	idx := make([]int, n)
-	vals := make([]float64, n)
-	for i := 0; i < n; i++ {
-		idx[i] = i
-		vals[i] = real(w.At(i, i))
+// collect extracts sorted (descending) eigenpairs from the diagonalized
+// working matrix and accumulated rotations into the workspace-owned Eigen.
+func (ws *EigWorkspace) collect() *Eigen {
+	n := ws.w.Rows()
+	if cap(ws.idx) < n {
+		ws.idx = make([]int, n)
 	}
-	sort.Slice(idx, func(a, b int) bool { return vals[idx[a]] > vals[idx[b]] })
+	ws.idx = ws.idx[:n]
+	if cap(ws.vals) < n {
+		ws.vals = make([]float64, n)
+	}
+	ws.vals = ws.vals[:n]
+	for i := 0; i < n; i++ {
+		ws.idx[i] = i
+		ws.vals[i] = real(ws.w.At(i, i))
+	}
+	// Insertion sort, descending by eigenvalue: n is tiny and, unlike
+	// sort.Slice, this allocates nothing.
+	idx := ws.idx
+	for i := 1; i < n; i++ {
+		for j := i; j > 0 && ws.vals[idx[j]] > ws.vals[idx[j-1]]; j-- {
+			idx[j], idx[j-1] = idx[j-1], idx[j]
+		}
+	}
 
-	out := &Eigen{Values: make([]float64, n), Vectors: NewMatrix(n, n)}
+	out := &ws.out
+	if cap(out.Values) < n {
+		out.Values = make([]float64, n)
+	}
+	out.Values = out.Values[:n]
+	if out.Vectors == nil {
+		out.Vectors = NewMatrix(n, n)
+	} else {
+		out.Vectors.Reuse(n, n)
+	}
 	for col, src := range idx {
-		out.Values[col] = vals[src]
-		vec := v.Col(src).Normalize()
+		out.Values[col] = ws.vals[src]
+		var norm float64
 		for row := 0; row < n; row++ {
-			out.Vectors.Set(row, col, vec[row])
+			x := ws.v.At(row, src)
+			re, im := real(x), imag(x)
+			norm += re*re + im*im
+		}
+		s := complex(1, 0)
+		if nrm := math.Sqrt(norm); nrm != 0 {
+			s = complex(1/nrm, 0)
+		}
+		for row := 0; row < n; row++ {
+			out.Vectors.Set(row, col, ws.v.At(row, src)*s)
 		}
 	}
 	return out

@@ -79,6 +79,46 @@ func (m *Matrix) Clone() *Matrix {
 	return out
 }
 
+// Reuse reshapes m to a zeroed rows×cols matrix in place, growing the
+// backing storage only when needed. The zero value of Matrix is valid to
+// Reuse, so scratch holders can embed a Matrix by value and let the first
+// call size it.
+func (m *Matrix) Reuse(rows, cols int) {
+	n := rows * cols
+	if cap(m.data) < n {
+		m.data = make([]complex128, n)
+	}
+	m.data = m.data[:n]
+	for i := range m.data {
+		m.data[i] = 0
+	}
+	m.rows, m.cols = rows, cols
+}
+
+// CopyFrom overwrites m's contents with b's. Shapes must match.
+func (m *Matrix) CopyFrom(b *Matrix) error {
+	if m.rows != b.rows || m.cols != b.cols {
+		return fmt.Errorf("copy %dx%d into %dx%d: %w", b.rows, b.cols, m.rows, m.cols, ErrDimensionMismatch)
+	}
+	copy(m.data, b.data)
+	return nil
+}
+
+// SetIdentity rewrites m as the identity (ones on the main diagonal, zeros
+// elsewhere) without reallocating.
+func (m *Matrix) SetIdentity() {
+	for i := range m.data {
+		m.data[i] = 0
+	}
+	n := m.rows
+	if m.cols < n {
+		n = m.cols
+	}
+	for i := 0; i < n; i++ {
+		m.data[i*m.cols+i] = 1
+	}
+}
+
 // Add returns m + b.
 func (m *Matrix) Add(b *Matrix) (*Matrix, error) {
 	if m.rows != b.rows || m.cols != b.cols {
@@ -138,15 +178,30 @@ func (m *Matrix) MulVec(v Vector) (Vector, error) {
 		return nil, fmt.Errorf("mulvec %dx%d and %d: %w", m.rows, m.cols, len(v), ErrDimensionMismatch)
 	}
 	out := make(Vector, m.rows)
+	if err := m.MulVecInto(out, v); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// MulVecInto is MulVec writing into a caller-owned dst of length Rows. dst
+// and v must not alias.
+func (m *Matrix) MulVecInto(dst, v Vector) error {
+	if m.cols != len(v) {
+		return fmt.Errorf("mulvec %dx%d and %d: %w", m.rows, m.cols, len(v), ErrDimensionMismatch)
+	}
+	if len(dst) != m.rows {
+		return fmt.Errorf("mulvec dst %d for %d rows: %w", len(dst), m.rows, ErrDimensionMismatch)
+	}
 	for i := 0; i < m.rows; i++ {
 		var sum complex128
 		row := m.data[i*m.cols : (i+1)*m.cols]
 		for j, a := range row {
 			sum += a * v[j]
 		}
-		out[i] = sum
+		dst[i] = sum
 	}
-	return out, nil
+	return nil
 }
 
 // ConjTranspose returns the Hermitian transpose mᴴ.

@@ -37,6 +37,34 @@ func NewEstimator(offsets []float64, wavelength float64) (*Estimator, error) {
 	return &Estimator{Offsets: offsets, Wavelength: wavelength, StepDeg: 1, MaxDeg: 90}, nil
 }
 
+// scanGrid resolves the estimator's scan parameters into a deterministic
+// index-based grid of n angles, angle(i) = -maxDeg + i·step. Stepping by
+// index instead of accumulating a float loop variable keeps the grid length
+// exactly reproducible for any StepDeg — the cached steering table, the
+// persisted path-weight vectors and every spectrum comparison depend on it.
+// The closed-form count tolerates step values that do not divide the span
+// exactly; the last angle never exceeds +maxDeg.
+func (e *Estimator) scanGrid() (step, maxDeg float64, n int) {
+	step = e.StepDeg
+	if step <= 0 {
+		step = 1
+	}
+	maxDeg = e.MaxDeg
+	if maxDeg <= 0 || maxDeg > 90 {
+		maxDeg = 90
+	}
+	n = int(math.Floor(2*maxDeg/step+1e-9)) + 1
+	return step, maxDeg, n
+}
+
+// NumAngles returns the length of the estimator's scan grid — the number of
+// angles every Pseudospectrum/Bartlett call (and any Plan built from this
+// estimator) will produce.
+func (e *Estimator) NumAngles() int {
+	_, _, n := e.scanGrid()
+	return n
+}
+
 // Steering returns the array steering vector a(θ) for an angle relative to
 // broadside: a_m(θ) = e^{+j·2π·offset_m·sinθ/λ}. The sign convention matches
 // the propagation model's e^{-j2πfd/c} ray phases (an element closer to the
@@ -66,6 +94,13 @@ func Covariance(frames []*csi.Frame, weights []float64) (*linalg.Matrix, error) 
 	}
 	if weights != nil && len(weights) != nSub {
 		return nil, fmt.Errorf("%d weights for %d subcarriers: %w", len(weights), nSub, ErrBadInput)
+	}
+	for k, w := range weights {
+		// A negative weight would flip the snapshot's sign instead of
+		// down-weighting it — reject rather than silently corrupt R.
+		if w < 0 {
+			return nil, fmt.Errorf("negative weight %v at subcarrier %d: %w", w, k, ErrBadInput)
+		}
 	}
 	r := linalg.NewMatrix(nAnt, nAnt)
 	count := 0
@@ -155,17 +190,11 @@ func (e *Estimator) Pseudospectrum(r *linalg.Matrix, nSignals int) (*Spectrum, e
 	if err != nil {
 		return nil, fmt.Errorf("pseudospectrum: %w", err)
 	}
-	step := e.StepDeg
-	if step <= 0 {
-		step = 1
-	}
-	maxDeg := e.MaxDeg
-	if maxDeg <= 0 || maxDeg > 90 {
-		maxDeg = 90
-	}
-
-	var angles, power []float64
-	for a := -maxDeg; a <= maxDeg+1e-9; a += step {
+	step, maxDeg, n := e.scanGrid()
+	angles := make([]float64, 0, n)
+	power := make([]float64, 0, n)
+	for gi := 0; gi < n; gi++ {
+		a := -maxDeg + float64(gi)*step
 		sv := e.Steering(geom.DegToRad(a))
 		// denom = ‖Enᴴ a‖².
 		var denom float64
@@ -196,16 +225,11 @@ func (e *Estimator) Bartlett(r *linalg.Matrix) (*Spectrum, error) {
 	if r.Rows() != len(e.Offsets) || r.Cols() != len(e.Offsets) {
 		return nil, fmt.Errorf("covariance %dx%d for %d elements: %w", r.Rows(), r.Cols(), len(e.Offsets), ErrBadInput)
 	}
-	step := e.StepDeg
-	if step <= 0 {
-		step = 1
-	}
-	maxDeg := e.MaxDeg
-	if maxDeg <= 0 || maxDeg > 90 {
-		maxDeg = 90
-	}
-	var angles, power []float64
-	for a := -maxDeg; a <= maxDeg+1e-9; a += step {
+	step, maxDeg, n := e.scanGrid()
+	angles := make([]float64, 0, n)
+	power := make([]float64, 0, n)
+	for gi := 0; gi < n; gi++ {
+		a := -maxDeg + float64(gi)*step
 		sv := e.Steering(geom.DegToRad(a))
 		rv, err := r.MulVec(sv)
 		if err != nil {
@@ -245,6 +269,39 @@ func (s *Spectrum) Normalized() *Spectrum {
 		out.Power[i] = p / peak
 	}
 	return out
+}
+
+// NormalizeInPlace scales the spectrum to unit maximum in place — the
+// allocation-free form of Normalized, with identical semantics (infinite
+// bins map to 1; a spectrum with no positive finite peak is left unchanged).
+func (s *Spectrum) NormalizeInPlace() {
+	var peak float64
+	for _, p := range s.Power {
+		if !math.IsInf(p, 1) && p > peak {
+			peak = p
+		}
+	}
+	if peak <= 0 {
+		return
+	}
+	for i, p := range s.Power {
+		if math.IsInf(p, 1) {
+			s.Power[i] = 1
+			continue
+		}
+		s.Power[i] = p / peak
+	}
+}
+
+// ToDBInPlace converts a power spectrum to decibels in place, flooring at
+// 1e-30 (well below any physical level) so downstream distances stay finite.
+func (s *Spectrum) ToDBInPlace() {
+	for i, p := range s.Power {
+		if p < 1e-30 {
+			p = 1e-30
+		}
+		s.Power[i] = 10 * math.Log10(p)
+	}
 }
 
 // Peak is a local pseudospectrum maximum.

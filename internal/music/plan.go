@@ -1,0 +1,326 @@
+package music
+
+import (
+	"fmt"
+	"math"
+
+	"mlink/internal/csi"
+	"mlink/internal/geom"
+	"mlink/internal/linalg"
+)
+
+// Plan is the precomputed, immutable side of angular scoring: the scan grid
+// and the full steering-vector table a(θ) for every grid angle, built once
+// from an Estimator's parameters. The per-window trigonometry of the naive
+// Pseudospectrum/Bartlett paths (nAngles × nAnt sin/cos pairs per spectrum)
+// disappears into the table, and the Into methods below write spectra into
+// caller-owned buffers — a scoring worker holding a Plan computes angular
+// spectra with zero allocations.
+//
+// A Plan is read-only after construction and safe to share between
+// goroutines; it is meant to live on a long-lived owner (core.Kernel builds
+// one per path-weighted link).
+type Plan struct {
+	nAnt      int
+	anglesDeg []float64
+	// steer is the row-major steering table: row i (nAnt entries) is
+	// a(anglesDeg[i]), bit-identical to Steering(DegToRad(anglesDeg[i])).
+	steer []complex128
+}
+
+// NewPlan precomputes the steering table for the estimator's scan grid.
+func (e *Estimator) NewPlan() (*Plan, error) {
+	if len(e.Offsets) < 2 {
+		return nil, fmt.Errorf("need ≥2 elements, got %d: %w", len(e.Offsets), ErrBadInput)
+	}
+	if e.Wavelength <= 0 {
+		return nil, fmt.Errorf("wavelength %v: %w", e.Wavelength, ErrBadInput)
+	}
+	step, maxDeg, n := e.scanGrid()
+	p := &Plan{
+		nAnt:      len(e.Offsets),
+		anglesDeg: make([]float64, n),
+		steer:     make([]complex128, n*len(e.Offsets)),
+	}
+	for i := 0; i < n; i++ {
+		a := -maxDeg + float64(i)*step
+		p.anglesDeg[i] = a
+		s := math.Sin(geom.DegToRad(a))
+		row := p.steer[i*p.nAnt : (i+1)*p.nAnt]
+		for m, off := range e.Offsets {
+			phi := 2 * math.Pi * off * s / e.Wavelength
+			row[m] = complex(math.Cos(phi), math.Sin(phi))
+		}
+	}
+	return p, nil
+}
+
+// NumAngles returns the scan-grid length.
+func (p *Plan) NumAngles() int { return len(p.anglesDeg) }
+
+// NumAntennas returns the array size the plan was built for.
+func (p *Plan) NumAntennas() int { return p.nAnt }
+
+// reuseSpectrum sizes dst for the plan's grid and copies the angle axis.
+func (p *Plan) reuseSpectrum(dst *Spectrum) {
+	dst.AnglesDeg = append(dst.AnglesDeg[:0], p.anglesDeg...)
+	if cap(dst.Power) < len(p.anglesDeg) {
+		dst.Power = make([]float64, len(p.anglesDeg))
+	}
+	dst.Power = dst.Power[:len(p.anglesDeg)]
+}
+
+// BartlettInto computes the conventional angular power spectrum
+// B(θ) = aᴴ(θ)·R·a(θ) over the cached steering table into dst, allocating
+// nothing once dst has warmed. Steering rows have unit-modulus entries, so
+// aᴴRa = tr(R) + 2·Re Σ_{i<j} conj(a_i)·R_ij·a_j: the diagonal contributes
+// the angle-independent trace and each angle costs only the strict upper
+// triangle — no per-angle MulVec/Dot temporaries.
+func (p *Plan) BartlettInto(dst *Spectrum, r *linalg.Matrix) error {
+	if dst == nil {
+		return fmt.Errorf("nil spectrum: %w", ErrBadInput)
+	}
+	if r.Rows() != p.nAnt || r.Cols() != p.nAnt {
+		return fmt.Errorf("covariance %dx%d for %d elements: %w", r.Rows(), r.Cols(), p.nAnt, ErrBadInput)
+	}
+	p.reuseSpectrum(dst)
+	nAnt := p.nAnt
+	var tr float64
+	for i := 0; i < nAnt; i++ {
+		tr += real(r.At(i, i))
+	}
+	// Hoist the strict upper triangle once so the angle loop indexes a small
+	// dense slice instead of recomputing matrix offsets per angle. Arrays up
+	// to 6 elements fit the stack buffer; larger ones (not a hot path here)
+	// pay one allocation.
+	var upArr [16]complex128
+	tri := nAnt * (nAnt - 1) / 2
+	up := upArr[:0]
+	if tri > len(upArr) {
+		up = make([]complex128, 0, tri)
+	}
+	for i := 0; i < nAnt-1; i++ {
+		for j := i + 1; j < nAnt; j++ {
+			up = append(up, r.At(i, j))
+		}
+	}
+	for ai := range dst.Power {
+		row := p.steer[ai*nAnt : (ai+1)*nAnt]
+		var cross complex128
+		t := 0
+		for i := 0; i < nAnt-1; i++ {
+			ci := conj(row[i])
+			for j := i + 1; j < nAnt; j++ {
+				cross += ci * up[t] * row[j]
+				t++
+			}
+		}
+		dst.Power[ai] = tr + 2*real(cross)
+	}
+	return nil
+}
+
+// PseudospectrumInto computes the MUSIC pseudospectrum over the cached
+// steering table into dst, running the eigensolver through the caller's
+// workspace (nil allocates a transient one). Semantics match the naive
+// Pseudospectrum: nSignals ≤ 0 auto-estimates from the eigenvalue profile,
+// and the count is clamped to keep a non-empty noise subspace.
+func (p *Plan) PseudospectrumInto(dst *Spectrum, r *linalg.Matrix, nSignals int, ws *linalg.EigWorkspace) error {
+	if dst == nil {
+		return fmt.Errorf("nil spectrum: %w", ErrBadInput)
+	}
+	if r.Rows() != p.nAnt || r.Cols() != p.nAnt {
+		return fmt.Errorf("covariance %dx%d for %d elements: %w", r.Rows(), r.Cols(), p.nAnt, ErrBadInput)
+	}
+	if ws == nil {
+		ws = &linalg.EigWorkspace{}
+	}
+	eig, err := ws.EigHermitian(r)
+	if err != nil {
+		return fmt.Errorf("pseudospectrum: %w", err)
+	}
+	if nSignals <= 0 {
+		nSignals = EstimateSignals(eig.Values, 0.08)
+	}
+	if nSignals > p.nAnt-1 {
+		nSignals = p.nAnt - 1
+	}
+	p.reuseSpectrum(dst)
+	nAnt := p.nAnt
+	vecs := eig.Vectors
+	for ai := range dst.Power {
+		row := p.steer[ai*nAnt : (ai+1)*nAnt]
+		// denom = ‖Enᴴ a‖², read straight off the noise-subspace columns.
+		var denom float64
+		for j := nSignals; j < nAnt; j++ {
+			var dot complex128
+			for i := 0; i < nAnt; i++ {
+				dot += conj(vecs.At(i, j)) * row[i]
+			}
+			denom += real(dot)*real(dot) + imag(dot)*imag(dot)
+		}
+		if denom > 1e-18 {
+			dst.Power[ai] = 1 / denom
+		} else {
+			dst.Power[ai] = math.Inf(1)
+		}
+	}
+	return nil
+}
+
+// Partials are per-subcarrier snapshot outer-product sums over a fixed frame
+// set: sums_k = Σ_f x_{f,k}·x_{f,k}ᴴ, stored as nAnt(nAnt+1)/2 upper-triangle
+// planes of nSub entries. The weighted spatial covariance of those same
+// frames then collapses to a per-subcarrier combine,
+//
+//	R = (1/(F·nnz(w))) · Σ_k w_k² · sums_k,
+//
+// matching Covariance's snapshot count (F frames × nonzero-weighted
+// subcarriers). The §IV-C scoring hot path exploits this twice: a profile's
+// frames are immutable, so their partials are accumulated once at
+// calibration and re-combined with every window's fresh weights at
+// O(nSub·nAnt²) instead of O(F·nSub·nAnt²); and the monitoring window's own
+// covariance accumulates through a scratch Partials, touching each snapshot
+// without per-snapshot weight scaling.
+//
+// The zero value is ready to use; Accumulate sizes (and reuses) the backing
+// storage. A Partials is read-only after accumulation and safe to share
+// between goroutines as long as no further Accumulate runs.
+type Partials struct {
+	nAnt, nSub, frames int
+	sums               []complex128
+}
+
+// NewPartials accumulates the partials of a frame set.
+func NewPartials(frames []*csi.Frame) (*Partials, error) {
+	p := &Partials{}
+	if err := p.Accumulate(frames); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// NumFrames returns the number of accumulated frames.
+func (p *Partials) NumFrames() int { return p.frames }
+
+// Accumulate rebuilds the partials from a frame set, replacing any previous
+// contents and reusing the backing storage.
+func (p *Partials) Accumulate(frames []*csi.Frame) error {
+	if len(frames) == 0 {
+		return fmt.Errorf("no frames: %w", ErrBadInput)
+	}
+	nAnt := frames[0].NumAntennas()
+	nSub := frames[0].NumSubcarriers()
+	if nAnt == 0 || nSub == 0 {
+		return fmt.Errorf("empty frame: %w", ErrBadInput)
+	}
+	tri := nAnt * (nAnt + 1) / 2
+	if cap(p.sums) < tri*nSub {
+		p.sums = make([]complex128, tri*nSub)
+	}
+	p.sums = p.sums[:tri*nSub]
+	for i := range p.sums {
+		p.sums[i] = 0
+	}
+	for fi, f := range frames {
+		if f.NumAntennas() != nAnt || f.NumSubcarriers() != nSub {
+			return fmt.Errorf("frame %d shape %dx%d differs from %dx%d: %w",
+				fi, f.NumAntennas(), f.NumSubcarriers(), nAnt, nSub, ErrBadInput)
+		}
+		t := 0
+		for i := 0; i < nAnt; i++ {
+			xi := f.CSI[i]
+			// Diagonal plane (i,i): |x|² sums, exactly real.
+			plane := p.sums[t*nSub : (t+1)*nSub]
+			for k, v := range xi {
+				re, im := real(v), imag(v)
+				plane[k] += complex(re*re+im*im, 0)
+			}
+			t++
+			for j := i + 1; j < nAnt; j++ {
+				xj := f.CSI[j]
+				plane := p.sums[t*nSub : (t+1)*nSub]
+				for k, v := range xi {
+					plane[k] += v * conj(xj[k])
+				}
+				t++
+			}
+		}
+	}
+	p.nAnt, p.nSub, p.frames = nAnt, nSub, len(frames)
+	return nil
+}
+
+// CovarianceInto combines the partials with per-subcarrier weights into the
+// caller-owned covariance matrix (Covariance semantics: nil weights are
+// uniform, a zero weight drops the subcarrier's snapshots from the count,
+// negative weights are rejected). Only the upper triangle is computed; the
+// lower is mirrored by conjugation.
+func (p *Partials) CovarianceInto(dst *linalg.Matrix, weights []float64) error {
+	if dst == nil {
+		return fmt.Errorf("nil covariance: %w", ErrBadInput)
+	}
+	if p.frames == 0 {
+		return fmt.Errorf("no frames: %w", ErrBadInput)
+	}
+	if weights != nil && len(weights) != p.nSub {
+		return fmt.Errorf("%d weights for %d subcarriers: %w", len(weights), p.nSub, ErrBadInput)
+	}
+	nnz := p.nSub
+	if weights != nil {
+		nnz = 0
+		for k, w := range weights {
+			if w < 0 {
+				return fmt.Errorf("negative weight %v at subcarrier %d: %w", w, k, ErrBadInput)
+			}
+			if w != 0 {
+				nnz++
+			}
+		}
+	}
+	count := p.frames * nnz
+	if count == 0 {
+		return fmt.Errorf("all snapshots zero-weighted: %w", ErrBadInput)
+	}
+	dst.Reuse(p.nAnt, p.nAnt)
+	inv := complex(1/float64(count), 0)
+	t := 0
+	for i := 0; i < p.nAnt; i++ {
+		for j := i; j < p.nAnt; j++ {
+			plane := p.sums[t*p.nSub : (t+1)*p.nSub]
+			var acc complex128
+			if weights == nil {
+				for _, v := range plane {
+					acc += v
+				}
+			} else {
+				for k, v := range plane {
+					if w := weights[k]; w != 0 {
+						acc += complex(w*w, 0) * v
+					}
+				}
+			}
+			acc *= inv
+			dst.Set(i, j, acc)
+			if i != j {
+				dst.Set(j, i, conj(acc))
+			}
+			t++
+		}
+	}
+	return nil
+}
+
+// CovarianceInto is Covariance writing into a caller-owned matrix, using
+// scratch as the per-subcarrier accumulation buffer (nil allocates a
+// transient one). It is the allocation-free monitor-window covariance of the
+// scoring hot path: accumulate the window's partials, then weight-combine.
+func CovarianceInto(dst *linalg.Matrix, frames []*csi.Frame, weights []float64, scratch *Partials) error {
+	if scratch == nil {
+		scratch = &Partials{}
+	}
+	if err := scratch.Accumulate(frames); err != nil {
+		return err
+	}
+	return scratch.CovarianceInto(dst, weights)
+}
