@@ -28,6 +28,7 @@ import (
 	"mlink/internal/propagation"
 	"mlink/internal/sanitize"
 	"mlink/internal/scenario"
+	"mlink/internal/serve"
 	"mlink/internal/supervise"
 )
 
@@ -693,6 +694,151 @@ func BenchmarkEngineSteadyStateSkewed(b *testing.B) {
 	for _, w := range []int{1, 4} {
 		b.Run(fmt.Sprintf("stealing/workers=%d", w), func(b *testing.B) { run(b, w, false) })
 		b.Run(fmt.Sprintf("static/workers=%d", w), func(b *testing.B) { run(b, w, true) })
+	}
+}
+
+// BenchmarkBroadcastFanout measures the serving plane's encode-once verdict
+// fan-out: one benchmark op is one fused round published through the hub —
+// VerdictInto from the engine's seqlock snapshots, one JSON/SSE
+// serialization into a recycled frame, and a refcounted slice handed to
+// every subscriber's latest-wins ring. The subscriber axis {1, 100, 10000}
+// is the whole point: cost per round must not grow with watcher count
+// beyond the O(subs) ring pushes (no per-subscriber encoding, no
+// per-subscriber buffers), and the steady state must report 0 allocs/op —
+// cmd/benchcheck enforces the alloc bound at every fan-out width. Idle
+// subscribers model the worst case: nobody drains, every ring rotates
+// through drop-oldest, and the frames recirculate through the freelist.
+func BenchmarkBroadcastFanout(b *testing.B) {
+	const links = 8
+	s, frames := engineFixture(b)
+	e := engine.New(engine.Config{Workers: 4, WindowSize: 25, Fusion: engine.KOfN{K: 1}})
+	for i := 0; i < links; i++ {
+		cfg := core.DefaultConfig(s.Grid, core.SchemeSubcarrier, s.Env.RX.Offsets())
+		if err := e.AddLink(fmt.Sprintf("l%d", i), cfg, engine.NewReplaySource(frames, true)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	ctx := context.Background()
+	if err := e.Calibrate(ctx, 60); err != nil {
+		b.Fatal(err)
+	}
+	// One window per link so every link has a decision and VerdictInto
+	// fuses a full-coverage verdict each publish.
+	if err := e.Run(ctx, 1); err != nil {
+		b.Fatal(err)
+	}
+	for _, subs := range []int{1, 100, 10000} {
+		b.Run(fmt.Sprintf("subs=%d", subs), func(b *testing.B) {
+			// MaxLag -1: idle watchers coalesce forever instead of being
+			// shed, so the fan-out width stays fixed through the run.
+			hub := serve.NewHub(e, serve.HubOptions{MaxLag: -1})
+			defer hub.Close()
+			for i := 0; i < subs; i++ {
+				if _, err := hub.Subscribe(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			// Warm-up: fill the rings and the frame freelist so the timer
+			// sees only recycled buffers.
+			for i := 0; i < 8; i++ {
+				if err := hub.PublishRound(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			start := hub.Encodes()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := hub.PublishRound(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			if got := hub.Encodes() - start; got != uint64(b.N) {
+				b.Fatalf("encoded %d rounds for %d publishes — fan-out must encode exactly once per round", got, b.N)
+			}
+		})
+	}
+}
+
+// BenchmarkEngineSteadyStateSubscribed is BenchmarkEngineSteadyState with
+// the serving plane attached and maximally popular: 10 000 idle SSE
+// subscribers hang off the hub while the fleet scores, and the report loop
+// nudges the hub once per fused round exactly as the facade's OnDecision
+// wiring does. The hub's encoder goroutine coalesces those nudges and
+// publishes off the scoring path, so the scoring-side cost is one atomic
+// add per decision plus a non-blocking channel send per round — benchcheck
+// pins this via scale_vs against the unsubscribed baseline: thousands of
+// watchers must not cost the scoring path a measurable slowdown.
+func BenchmarkEngineSteadyStateSubscribed(b *testing.B) {
+	const links = 8
+	s, frames := engineFixture(b)
+	var (
+		reportMu sync.Mutex
+		decided  int
+		verdict  engine.SiteVerdict
+		metrics  engine.Metrics
+		ids      []string
+		verdicts uint64
+		e        *engine.Engine
+		hub      *serve.Hub
+	)
+	e = engine.New(engine.Config{
+		Workers:    4,
+		WindowSize: 25,
+		Fusion:     engine.KOfN{K: 1},
+		OnDecision: func(string, core.Decision) {
+			reportMu.Lock()
+			defer reportMu.Unlock()
+			decided++
+			if decided%links != 0 {
+				return
+			}
+			if err := e.VerdictInto(&verdict); err != nil {
+				b.Error(err)
+			}
+			e.MetricsInto(&metrics)
+			ids = e.LinksInto(ids)
+			verdicts++
+			hub.Notify()
+		},
+	})
+	for i := 0; i < links; i++ {
+		cfg := core.DefaultConfig(s.Grid, core.SchemeSubcarrier, s.Env.RX.Offsets())
+		if err := e.AddLink(fmt.Sprintf("l%d", i), cfg, engine.NewReplaySource(frames, true)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	hub = serve.NewHub(e, serve.HubOptions{MaxLag: -1})
+	defer hub.Close()
+	hub.Start()
+	for i := 0; i < 10000; i++ {
+		if _, err := hub.Subscribe(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	ctx := context.Background()
+	if err := e.Calibrate(ctx, 60); err != nil {
+		b.Fatal(err)
+	}
+	// Warm-up: primes slabs, scratches, report buffers, rings and frames.
+	if err := e.Run(ctx, 2); err != nil {
+		b.Fatal(err)
+	}
+	warm := e.Metrics().WindowsScored
+	b.ReportAllocs()
+	b.ResetTimer()
+	if err := e.Run(ctx, b.N); err != nil {
+		b.Fatal(err)
+	}
+	b.StopTimer()
+	scored := float64(e.Metrics().WindowsScored - warm)
+	b.ReportMetric(scored/b.Elapsed().Seconds(), "scores/s")
+	if verdicts == 0 {
+		b.Fatal("report loop never fused a verdict")
+	}
+	if hub.Rounds() == 0 {
+		b.Fatal("hub never saw a round notification")
 	}
 }
 

@@ -40,6 +40,7 @@ import (
 	"os"
 	"os/signal"
 	"sync"
+	"syscall"
 	"time"
 
 	"mlink"
@@ -146,6 +147,7 @@ func run() error {
 		backoffMax = flag.Duration("backoff-max", 5*time.Second, "reconnect backoff ceiling (with -supervise)")
 		chaosName  = flag.String("chaos", "none", "fault schedule injected into one link: none|stall|drip|eof|flap|drop|torn (with -supervise)")
 		chaosLink  = flag.Int("chaos-link", 1, "1-based index of the link that misbehaves (with -chaos)")
+		httpAddr   = flag.String("http", "", "serve the HTTP API on this address (e.g. :8080): GET /v1/verdict, /v1/links, /metrics, /v1/stream (SSE)")
 	)
 	flag.Parse()
 
@@ -328,10 +330,36 @@ func run() error {
 		fmt.Printf("chaos %q armed on link %d\n", *chaosName, *chaosLink)
 	}
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	if err := eng.Run(ctx, *windows); err != nil {
-		return err
+
+	// -http mounts the serving plane next to the scoring loop: verdict and
+	// metrics snapshots plus encode-once SSE verdict streaming. It drains
+	// with the run — SIGTERM closes subscribers, finishes in-flight
+	// requests, then the daemon syncs its journal and prints the final
+	// report as usual.
+	var serveDone chan error
+	serveStop := func() {}
+	if *httpAddr != "" {
+		srvCtx, srvCancel := context.WithCancel(ctx)
+		serveStop = srvCancel
+		serveDone = make(chan error, 1)
+		go func() { serveDone <- mlink.Serve(srvCtx, eng, *httpAddr, mlink.ServeOptions{Logf: log.Printf}) }()
+		fmt.Printf("http API on %s (/v1/verdict /v1/links /metrics /v1/stream)\n", *httpAddr)
+	}
+
+	runErr := eng.Run(ctx, *windows)
+
+	if serveDone != nil {
+		eng.CloseStream() // every SSE subscriber sees a clean end-of-stream
+		serveStop()
+		if err := <-serveDone; err != nil {
+			log.Printf("http API: %v", err)
+		}
+		fmt.Println("http API drained")
+	}
+	if runErr != nil {
+		return runErr
 	}
 
 	eng.MetricsInto(&m)

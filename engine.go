@@ -13,6 +13,7 @@ import (
 	"mlink/internal/engine"
 	"mlink/internal/fleet"
 	"mlink/internal/scenario"
+	"mlink/internal/serve"
 	"mlink/internal/supervise"
 )
 
@@ -153,6 +154,16 @@ type Engine struct {
 	// journal is the crash-safe online persistence attached by EnableJournal
 	// (nil when journaling is off).
 	journal *fleet.Journal
+
+	// Serving-plane state: hub is the lazily-started SSE broadcast hub
+	// (Subscribe/Handler/Serve). decided counts scored windows so the
+	// OnDecision wrapper can nudge the hub once per fused round (every
+	// linkCount decisions) with a single atomic add — subscribers never
+	// touch the scoring path beyond that.
+	hub       atomic.Pointer[serve.Hub]
+	hubOnce   sync.Once
+	decided   atomic.Uint64
+	linkCount atomic.Int64
 }
 
 // phasedSwitch is a source whose occupancy activates once calibration ends.
@@ -172,6 +183,11 @@ func NewEngine(cfg EngineConfig) *Engine {
 				userCb(linkID, d)
 			}
 			e.fleetObserve()
+			if h := e.hub.Load(); h != nil {
+				if n := e.linkCount.Load(); n > 0 && e.decided.Add(1)%uint64(n) == 0 {
+					h.Notify()
+				}
+			}
 		},
 	})
 	return e
@@ -395,6 +411,7 @@ func (e *Engine) AddChaosLink(id string, sys *System, chaos ChaosConfig, people 
 	}
 	e.sources = append(e.sources, inner)
 	e.sourceBy[id] = inner
+	e.linkCount.Add(1)
 	return src, nil
 }
 
@@ -471,6 +488,7 @@ func (e *Engine) AddLink(id string, sys *System, people ...*Person) error {
 	}
 	e.sources = append(e.sources, src)
 	e.sourceBy[id] = src
+	e.linkCount.Add(1)
 	return nil
 }
 
@@ -492,6 +510,7 @@ func (e *Engine) AddDriftLink(id string, sys *System, preset DriftPreset, people
 	}
 	e.sources = append(e.sources, src)
 	e.sourceBy[id] = src
+	e.linkCount.Add(1)
 	return nil
 }
 

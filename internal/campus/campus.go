@@ -1,0 +1,247 @@
+package campus
+
+import (
+	"errors"
+	"fmt"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"mlink/internal/engine"
+	"mlink/internal/fleet"
+)
+
+// Site is one monitored deployment mounted under the aggregator: anything
+// exposing the engine's allocation-free verdict and metrics snapshots. The
+// facade mlink.Engine satisfies it.
+type Site interface {
+	VerdictInto(*engine.SiteVerdict) error
+	MetricsInto(*engine.Metrics)
+}
+
+// FleetReporter is the optional drift-coordination surface a Site may also
+// expose; the aggregator uses it for cross-site ambient correlation.
+type FleetReporter interface {
+	FleetReport() (fleet.Report, bool)
+}
+
+// Persister is the optional profile-persistence surface a Site may expose;
+// SaveAll/LoadAll walk it with per-site directories under ProfileRoot.
+type Persister interface {
+	SaveProfiles(dir string) ([]string, error)
+	LoadProfiles(dir string) ([]string, error)
+}
+
+// ErrUnknownSite is returned for lookups of an unregistered site ID.
+var ErrUnknownSite = errors.New("campus: unknown site")
+
+// Config parameterizes an Aggregator. The zero value is usable: no
+// persistence root, a 30-second episode window, and a two-site quorum.
+type Config struct {
+	// ProfileRoot, when set, gives each persistable site a directory
+	// ProfileRoot/<siteID> for SaveAll/LoadAll.
+	ProfileRoot string
+	// EpisodeWindow is how close together two sites' ambient-drift
+	// classifications must land to correlate (default 30s).
+	EpisodeWindow time.Duration
+	// MinSites is how many sites must report ambient drift inside the
+	// window to open a campus-wide episode (default 2).
+	MinSites int
+	// OnAmbientEpisode, when non-nil, fires once per episode with the IDs
+	// of the correlating sites — the campus-scale counterpart of the fleet
+	// coordinator's ambient/localized disambiguation: weather, HVAC cycles
+	// or building-wide RF events move many sites together, while a person
+	// or a renovation moves one.
+	OnAmbientEpisode func(siteIDs []string)
+	// Now is the clock (default time.Now); injectable for tests.
+	Now func() time.Time
+}
+
+type siteEntry struct {
+	id          string
+	site        Site
+	lastAmbient time.Time
+}
+
+// Aggregator mounts many independently-monitored sites — one engine and
+// fleet coordinator each — under a single campus view: per-site verdict
+// routing, a cross-site occupancy/coverage rollup, batch profile
+// persistence, and a cross-site ambient-correlation hook. All methods are
+// safe for concurrent use.
+type Aggregator struct {
+	cfg Config
+
+	mu        sync.Mutex
+	sites     []*siteEntry
+	byID      map[string]*siteEntry
+	inEpisode bool
+	episodes  uint64
+
+	// Observe/OverviewInto scratch, guarded by mu.
+	verdict    engine.SiteVerdict
+	episodeIDs []string
+}
+
+// Overview is the campus rollup one Observe/OverviewInto pass produces.
+type Overview struct {
+	// Sites is the mounted-site count; Present, Inconclusive and Degraded
+	// count sites by their current verdict state.
+	Sites, Present, Inconclusive, Degraded int
+	// Links and Down sum link counts across every site's coverage.
+	Links, Down int
+	// Episodes counts campus-wide ambient episodes detected so far, and
+	// InEpisode reports whether one is currently open.
+	Episodes  uint64
+	InEpisode bool
+}
+
+// New builds an empty campus aggregator.
+func New(cfg Config) *Aggregator {
+	if cfg.EpisodeWindow <= 0 {
+		cfg.EpisodeWindow = 30 * time.Second
+	}
+	if cfg.MinSites <= 0 {
+		cfg.MinSites = 2
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	return &Aggregator{cfg: cfg, byID: make(map[string]*siteEntry)}
+}
+
+// Add mounts a site under a unique ID.
+func (a *Aggregator) Add(id string, s Site) error {
+	if s == nil {
+		return fmt.Errorf("campus: nil site %q", id)
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if _, dup := a.byID[id]; dup {
+		return fmt.Errorf("campus: duplicate site %q", id)
+	}
+	e := &siteEntry{id: id, site: s}
+	a.sites = append(a.sites, e)
+	a.byID[id] = e
+	return nil
+}
+
+// Sites lists mounted site IDs in registration order.
+func (a *Aggregator) Sites() []string {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make([]string, len(a.sites))
+	for i, e := range a.sites {
+		out[i] = e.id
+	}
+	return out
+}
+
+// VerdictInto routes one site's fused verdict into v (reusing its buffers,
+// like the engine method it forwards to).
+func (a *Aggregator) VerdictInto(siteID string, v *engine.SiteVerdict) error {
+	a.mu.Lock()
+	e := a.byID[siteID]
+	a.mu.Unlock()
+	if e == nil {
+		return fmt.Errorf("%w: %q", ErrUnknownSite, siteID)
+	}
+	return e.site.VerdictInto(v)
+}
+
+// Observe runs one campus tick: every site's verdict is folded into the
+// rollup, fleet reports are polled for ambient evidence, and — when at least
+// MinSites sites classified their drift as ambient within EpisodeWindow of
+// each other — an episode opens and OnAmbientEpisode fires once. The episode
+// closes (re-arming the hook) when correlation drops below the quorum.
+func (a *Aggregator) Observe() Overview {
+	a.mu.Lock()
+	now := a.cfg.Now()
+	var o Overview
+	o.Sites = len(a.sites)
+	a.episodeIDs = a.episodeIDs[:0]
+	for _, e := range a.sites {
+		if err := e.site.VerdictInto(&a.verdict); err == nil {
+			switch {
+			case a.verdict.Inconclusive:
+				o.Inconclusive++
+			case a.verdict.Present:
+				o.Present++
+			}
+			if a.verdict.Coverage.Degraded() {
+				o.Degraded++
+			}
+			o.Links += a.verdict.Coverage.Links
+			o.Down += a.verdict.Coverage.Down
+		}
+		if fr, ok := e.site.(FleetReporter); ok {
+			if rep, on := fr.FleetReport(); on && rep.State == fleet.StateAmbient {
+				e.lastAmbient = now
+			}
+		}
+		if !e.lastAmbient.IsZero() && now.Sub(e.lastAmbient) <= a.cfg.EpisodeWindow {
+			a.episodeIDs = append(a.episodeIDs, e.id)
+		}
+	}
+	var fire []string
+	if len(a.episodeIDs) >= a.cfg.MinSites {
+		if !a.inEpisode {
+			a.inEpisode = true
+			a.episodes++
+			fire = append(fire, a.episodeIDs...)
+		}
+	} else {
+		a.inEpisode = false
+	}
+	o.Episodes = a.episodes
+	o.InEpisode = a.inEpisode
+	cb := a.cfg.OnAmbientEpisode
+	a.mu.Unlock()
+	if fire != nil && cb != nil {
+		cb(fire)
+	}
+	return o
+}
+
+// Episodes counts campus-wide ambient episodes detected so far.
+func (a *Aggregator) Episodes() uint64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.episodes
+}
+
+// SaveAll snapshots every persistable site's adapted baselines under
+// ProfileRoot/<siteID> and returns the per-site saved link IDs. Sites
+// without the Persister surface are skipped.
+func (a *Aggregator) SaveAll() (map[string][]string, error) {
+	return a.persist(func(p Persister, dir string) ([]string, error) { return p.SaveProfiles(dir) })
+}
+
+// LoadAll restores every persistable site from ProfileRoot/<siteID>,
+// returning the per-site restored link IDs. Missing directories restore
+// nothing and are not an error (first boot).
+func (a *Aggregator) LoadAll() (map[string][]string, error) {
+	return a.persist(func(p Persister, dir string) ([]string, error) { return p.LoadProfiles(dir) })
+}
+
+func (a *Aggregator) persist(op func(Persister, string) ([]string, error)) (map[string][]string, error) {
+	if a.cfg.ProfileRoot == "" {
+		return nil, errors.New("campus: no ProfileRoot configured")
+	}
+	a.mu.Lock()
+	sites := make([]*siteEntry, len(a.sites))
+	copy(sites, a.sites)
+	a.mu.Unlock()
+	out := make(map[string][]string)
+	for _, e := range sites {
+		p, ok := e.site.(Persister)
+		if !ok {
+			continue
+		}
+		ids, err := op(p, filepath.Join(a.cfg.ProfileRoot, e.id))
+		if err != nil {
+			return out, fmt.Errorf("campus: site %q: %w", e.id, err)
+		}
+		out[e.id] = ids
+	}
+	return out, nil
+}

@@ -1,0 +1,189 @@
+package campus
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"mlink/internal/engine"
+	"mlink/internal/fleet"
+)
+
+// stubSite is a scriptable Site + FleetReporter + Persister.
+type stubSite struct {
+	mu      sync.Mutex
+	verdict engine.SiteVerdict
+	state   fleet.State
+	fleetOn bool
+	saved   int
+}
+
+func (s *stubSite) VerdictInto(v *engine.SiteVerdict) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	links := v.Links[:0]
+	*v = s.verdict
+	v.Links = links
+	return nil
+}
+
+func (s *stubSite) MetricsInto(m *engine.Metrics) {
+	*m = engine.Metrics{Links: s.verdict.Coverage.Links}
+}
+
+func (s *stubSite) FleetReport() (fleet.Report, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return fleet.Report{State: s.state}, s.fleetOn
+}
+
+func (s *stubSite) SaveProfiles(dir string) ([]string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	s.saved++
+	s.mu.Unlock()
+	return []string{"l0"}, nil
+}
+
+func (s *stubSite) LoadProfiles(dir string) ([]string, error) {
+	if _, err := os.Stat(dir); err != nil {
+		return nil, nil // first boot: nothing to restore
+	}
+	return []string{"l0"}, nil
+}
+
+func (s *stubSite) set(mut func(*stubSite)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	mut(s)
+}
+
+func TestAggregatorRoutingAndRollup(t *testing.T) {
+	a := New(Config{})
+	east := &stubSite{verdict: engine.SiteVerdict{Present: true, Score: 0.8, Coverage: engine.Coverage{Links: 3, Fused: 3}}}
+	west := &stubSite{verdict: engine.SiteVerdict{Inconclusive: true, Coverage: engine.Coverage{Links: 2, Down: 2}}}
+	if err := a.Add("east", east); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Add("west", west); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Add("east", east); err == nil {
+		t.Fatal("duplicate site ID accepted")
+	}
+	var v engine.SiteVerdict
+	if err := a.VerdictInto("east", &v); err != nil || !v.Present {
+		t.Fatalf("east verdict = %+v, %v", v, err)
+	}
+	if err := a.VerdictInto("nowhere", &v); !errors.Is(err, ErrUnknownSite) {
+		t.Fatalf("unknown site error = %v", err)
+	}
+	o := a.Observe()
+	if o.Sites != 2 || o.Present != 1 || o.Inconclusive != 1 || o.Degraded != 1 {
+		t.Fatalf("overview = %+v", o)
+	}
+	if o.Links != 5 || o.Down != 2 {
+		t.Fatalf("link totals = %+v", o)
+	}
+}
+
+// TestAggregatorAmbientEpisode pins the cross-site correlation logic with an
+// injected clock: two sites going ambient inside the window open exactly one
+// episode; the hook re-arms only after correlation lapses.
+func TestAggregatorAmbientEpisode(t *testing.T) {
+	now := time.Unix(1000, 0)
+	var episodes [][]string
+	a := New(Config{
+		EpisodeWindow:    10 * time.Second,
+		MinSites:         2,
+		Now:              func() time.Time { return now },
+		OnAmbientEpisode: func(ids []string) { episodes = append(episodes, append([]string(nil), ids...)) },
+	})
+	s1, s2, s3 := &stubSite{fleetOn: true}, &stubSite{fleetOn: true}, &stubSite{fleetOn: true}
+	for id, s := range map[string]*stubSite{"a": s1, "b": s2, "c": s3} {
+		if err := a.Add(id, s); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// One ambient site: below quorum, no episode.
+	s1.set(func(s *stubSite) { s.state = fleet.StateAmbient })
+	if o := a.Observe(); o.InEpisode || len(episodes) != 0 {
+		t.Fatalf("single ambient site opened an episode: %+v", o)
+	}
+
+	// Second site correlates 5s later (inside the window): episode opens,
+	// hook fires once with both IDs.
+	s1.set(func(s *stubSite) { s.state = fleet.StateQuiet })
+	s2.set(func(s *stubSite) { s.state = fleet.StateAmbient })
+	now = now.Add(5 * time.Second)
+	o := a.Observe()
+	if !o.InEpisode || o.Episodes != 1 {
+		t.Fatalf("correlated sites did not open an episode: %+v", o)
+	}
+	if len(episodes) != 1 || len(episodes[0]) != 2 {
+		t.Fatalf("episode hook fired %v, want one firing with two sites", episodes)
+	}
+
+	// Still inside the window: the open episode does not re-fire.
+	now = now.Add(2 * time.Second)
+	if o := a.Observe(); o.Episodes != 1 || len(episodes) != 1 {
+		t.Fatalf("episode re-fired while open: %+v", o)
+	}
+
+	// Evidence ages out: the episode closes...
+	s2.set(func(s *stubSite) { s.state = fleet.StateQuiet })
+	now = now.Add(30 * time.Second)
+	if o := a.Observe(); o.InEpisode {
+		t.Fatalf("episode still open after evidence aged out: %+v", o)
+	}
+
+	// ...and a fresh correlated pair opens a second one.
+	s2.set(func(s *stubSite) { s.state = fleet.StateAmbient })
+	s3.set(func(s *stubSite) { s.state = fleet.StateAmbient })
+	now = now.Add(time.Second)
+	if o := a.Observe(); !o.InEpisode || o.Episodes != 2 || len(episodes) != 2 {
+		t.Fatalf("second episode not detected: %+v (hook %v)", o, episodes)
+	}
+}
+
+func TestAggregatorPersistence(t *testing.T) {
+	root := t.TempDir()
+	a := New(Config{ProfileRoot: root})
+	east, west := &stubSite{}, &stubSite{}
+	if err := a.Add("east", east); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Add("west", west); err != nil {
+		t.Fatal(err)
+	}
+	saved, err := a.SaveAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(saved) != 2 || len(saved["east"]) != 1 {
+		t.Fatalf("saved = %v", saved)
+	}
+	for _, id := range []string{"east", "west"} {
+		if _, err := os.Stat(filepath.Join(root, id)); err != nil {
+			t.Fatalf("per-site dir missing for %q: %v", id, err)
+		}
+	}
+	restored, err := a.LoadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(restored["west"]) != 1 {
+		t.Fatalf("restored = %v", restored)
+	}
+
+	noRoot := New(Config{})
+	if _, err := noRoot.SaveAll(); err == nil {
+		t.Fatal("SaveAll without ProfileRoot should error")
+	}
+}

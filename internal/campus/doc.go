@@ -1,0 +1,14 @@
+// Package campus aggregates many independently-monitored sites — one
+// engine and fleet coordinator each — under a single campus view.
+//
+// Each site keeps its own calibration, fusion policy, adaptation loop and
+// drift coordinator; the Aggregator adds the layer above: per-site verdict
+// routing, a campus rollup (sites present / inconclusive / degraded, link
+// and outage totals), batch profile persistence with one directory per site,
+// and cross-site ambient correlation. The last is the campus-scale analogue
+// of the fleet coordinator's localized-versus-ambient disambiguation:
+// when several sites classify their drift as ambient inside one episode
+// window, the cause is campus-wide (weather, HVAC, building RF) rather than
+// per-site, and the OnAmbientEpisode hook fires once per episode so an
+// operator can suppress recalibration storms instead of chasing each site.
+package campus

@@ -58,17 +58,6 @@ func naivePathScore(t *testing.T, k *Kernel, profile *Profile, window []*csi.Fra
 	return score
 }
 
-func relErr(a, b float64) float64 {
-	if a == b {
-		return 0
-	}
-	den := math.Max(math.Abs(a), math.Abs(b))
-	if den == 0 {
-		return 0
-	}
-	return math.Abs(a-b) / den
-}
-
 // driftFrames pulls n frames off a drift stream without recycling (the
 // calibration profile retains its frames).
 func driftFrames(t *testing.T, d *scenario.DriftStream, n int) []*csi.Frame {
@@ -86,9 +75,12 @@ func driftFrames(t *testing.T, d *scenario.DriftStream, n int) []*csi.Frame {
 
 // TestPathScoreCachedMatchesNaive sweeps drift presets × seeds and pins the
 // cached scoring path (steering plan + profile partials + scratch reuse +
-// fused dB distance) to the naive reference within 1e-9 relative — including
-// after a profile Refresh and a full Adopt relock, whose profiles carry the
-// calibration partials by reference.
+// fused dB distance through dsp.Log10Fast) to the naive math.Log10 reference
+// within 1e-6 — including after a profile Refresh and a full Adopt relock,
+// whose profiles carry the calibration partials by reference. The bound is
+// dominated by Log10Fast's ≤2e-9 per-log error (≤2e-8 dB per weighted
+// angle); everything upstream of the distance agrees to ~1e-15 relative, and
+// Log10Fast itself is pinned to <2e-9 by its own property suite in dsp.
 func TestPathScoreCachedMatchesNaive(t *testing.T) {
 	presets := map[string]scenario.DriftPreset{
 		"none":      scenario.NoDrift(),
@@ -126,9 +118,9 @@ func TestPathScoreCachedMatchesNaive(t *testing.T) {
 					t.Fatalf("%s/%s/seed=%d: cached score: %v", name, stage, seed, err)
 				}
 				want := naivePathScore(t, k, p, window)
-				if relErr(got, want) > 1e-9 {
-					t.Fatalf("%s/%s/seed=%d: cached %v vs naive %v (rel %v)",
-						name, stage, seed, got, want, relErr(got, want))
+				if math.Abs(got-want) > 1e-6*math.Max(1, math.Abs(want)) {
+					t.Fatalf("%s/%s/seed=%d: cached %v vs naive %v (diff %v)",
+						name, stage, seed, got, want, math.Abs(got-want))
 				}
 			}
 			check("calibrated", profile, driftFrames(t, d, 25))

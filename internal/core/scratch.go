@@ -294,6 +294,43 @@ func subcarrierRSSdBInto(dst []float64, row []complex128) {
 	}
 }
 
+// WarmScratch pre-sizes every buffer the kernel's scheme touches when
+// scoring a window of windowLen nAnt-antenna frames, without computing
+// anything. A shard that warms its scratch for every link it might ever hold
+// (work stealing can migrate any link anywhere) enters the steady state with
+// the growth already paid — the first window a migrated link scores on its
+// new holder allocates nothing, even for a heavy fine-grid angular link
+// whose spectra dwarf every sibling's buffers.
+func (k *Kernel) WarmScratch(sc *Scratch, nAnt, windowLen int) {
+	if sc == nil || nAnt <= 0 || windowLen <= 0 || k.cfg.Grid == nil || k.cfg.Grid.Len() == 0 {
+		return
+	}
+	n := k.cfg.Grid.Len()
+	sc.bindGrid(k.cfg.Grid)
+	growComplexes(&sc.uniform, n)
+	growComplexes(&sc.taps, n)
+	growFloats(&sc.powers, n)
+	growFloats(&sc.acc, n)
+	growFloats(&sc.row, n)
+	growFloats(&sc.med, n)
+	sc.muRows(windowLen, n)
+	sc.perAntenna(nAnt, n)
+	growFloats(&sc.sw.MeanMu, n)
+	growFloats(&sc.sw.StabilityRatio, n)
+	growFloats(&sc.sw.Weights, n)
+	if k.cfg.Sanitize {
+		sc.san.Reserve(windowLen, nAnt, n)
+	}
+	if k.cfg.Scheme == SchemeSubcarrierPath && k.plan != nil {
+		growFloats(&sc.wavg, n)
+		sc.winPartials.Reserve(nAnt, n)
+		sc.monCov.Reuse(nAnt, nAnt)
+		sc.calCov.Reuse(nAnt, nAnt)
+		k.plan.ReserveSpectrum(&sc.monSpec)
+		k.plan.ReserveSpectrum(&sc.calSpec)
+	}
+}
+
 // DetectScratch is Detect with a caller-managed scratch (nil is allowed and
 // behaves like Detect). The decision is made against one consistent
 // (profile, threshold) snapshot even while an adaptation loop is updating

@@ -1,0 +1,61 @@
+package dsp
+
+import "math"
+
+// Log10Fast approximates math.Log10 for the angular scoring path, where the
+// dB distance pays one logarithm per weighted steering angle (~3,600 on a
+// 0.05° grid). It follows the Atan2Fast/SincosFast contract: cubic-Hermite
+// table over the fast range, absolute error under 2e-9, and every special
+// (NaN, ±Inf, zero, negatives) deferring to the exact math implementation.
+//
+// The fast range is the whole positive normal line: Frexp splits x into
+// m·2ᵉ with m ∈ [0.5, 1), so log₁₀(x) = log₁₀(m) + e·log₁₀(2) with the
+// mantissa term read from a 128-interval table over [0.5, 1). The table's
+// own error is ~1e-11; the dominant term is the final add's half-ulp, which
+// stays far below the 2e-9 bound across the normal range (|e| ≤ 1024 keeps
+// the exponent term under ~309, where an ulp is ~5.7e-14). Subnormals defer
+// to math.Log10 like the other specials: they sit 22 decades below the
+// 1e-30 floor the spectrum distance applies, so the fast path never sees
+// one, and deferring keeps Log10Fast bit-identical to the math package on
+// every input outside its documented range.
+
+const log10TabN = 128 // intervals of log10(m) over m ∈ [0.5, 1]
+
+var log10Tab [log10TabN][4]float64
+
+func init() {
+	h := 0.5 / log10TabN
+	invLn10 := 1 / math.Ln10
+	for i := range log10Tab {
+		m0 := 0.5 + float64(i)*h
+		m1 := m0 + h
+		f0, f1 := math.Log10(m0), math.Log10(m1)
+		d0 := invLn10 / m0
+		d1 := invLn10 / m1
+		hermite(&log10Tab[i], f0, f1, d0, d1, h)
+	}
+}
+
+// Log10Fast approximates math.Log10 with absolute error under 2e-9 for all
+// positive normal x. Non-positive, subnormal, infinite and NaN inputs defer
+// to math.Log10 and match it exactly.
+func Log10Fast(x float64) float64 {
+	// One guard covers every special: NaN, ±Inf, x ≤ 0 and subnormals all
+	// fail it (2.2250738585072014e-308 is the smallest positive normal).
+	if !(x >= 2.2250738585072014e-308 && x <= math.MaxFloat64) {
+		return math.Log10(x)
+	}
+	// Frexp by bit surgery — x is known normal, so the exponent field is the
+	// whole story: clear it to 0x3FE (biased -1) to land the mantissa m in
+	// [0.5, 1), and read e = x's biased exponent - 1022 so x = m·2ᵉ.
+	bits := math.Float64bits(x)
+	e := int(bits>>52) - 1022
+	m := math.Float64frombits(bits&^(0x7FF<<52) | (0x3FE << 52))
+	// The top 7 mantissa bits of m index the table directly: interval i
+	// spans [0.5 + i/256, 0.5 + (i+1)/256).
+	i := int(bits>>45) & (log10TabN - 1)
+	u := m - (0.5 + float64(i)*(0.5/log10TabN))
+	c := &log10Tab[i]
+	const log10of2 = 0.30102999566398119521 // log₁₀(2)
+	return c[0] + u*(c[1]+u*(c[2]+u*c[3])) + float64(e)*log10of2
+}

@@ -1,0 +1,100 @@
+package dsp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestLog10FastAccuracy asserts the documented 2e-9 absolute bound against
+// math.Log10 across the spectrum-value range the dB distance feeds it:
+// log-spaced magnitudes from the 1e-30 floor to 1e30, dense random mantissas
+// at every binary exponent scale, and ratios near 1 (the common quiet-window
+// case, where log10 ≈ 0).
+func TestLog10FastAccuracy(t *testing.T) {
+	maxErr := 0.0
+	check := func(x float64) {
+		if e := math.Abs(Log10Fast(x) - math.Log10(x)); e > maxErr {
+			maxErr = e
+			if e > 2e-9 {
+				t.Fatalf("Log10Fast(%v) error %.3e exceeds 2e-9", x, e)
+			}
+		}
+	}
+	// Log-spaced sweep over the floored spectrum range and beyond.
+	for i := -3000; i <= 3000; i++ {
+		check(math.Pow(10, float64(i)/100)) // 1e-30 … 1e30
+	}
+	// Random mantissas across the full exponent range.
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 200000; i++ {
+		m := 0.5 + rng.Float64()/2 // [0.5, 1)
+		e := rng.Intn(1200) - 600
+		check(math.Ldexp(m, e))
+	}
+	// Ratios near 1: both sides of the knot where log10 crosses zero.
+	for i := -100000; i <= 100000; i++ {
+		check(1 + float64(i)*1e-9)
+	}
+	// Powers of two and ten land exactly on table knots / exponent steps.
+	for e := -300; e <= 300; e++ {
+		check(math.Ldexp(1, e))
+		check(math.Pow(10, float64(e)))
+	}
+	t.Logf("max |Log10Fast-Log10| = %.3e", maxErr)
+}
+
+// TestLog10FastSpecials checks every input outside the fast range —
+// non-positive, non-finite, NaN and subnormal — defers to math.Log10 bit
+// for bit, and the fast-range endpoints stay within the accuracy bound.
+func TestLog10FastSpecials(t *testing.T) {
+	inf, nan := math.Inf(1), math.NaN()
+	deferred := []float64{
+		0, math.Copysign(0, -1), -1, -1e-300, -inf, inf, nan,
+		5e-324, 1e-310, 2.2250738585072e-308, // subnormals
+	}
+	for _, x := range deferred {
+		got, want := Log10Fast(x), math.Log10(x)
+		if math.IsNaN(want) {
+			if !math.IsNaN(got) {
+				t.Errorf("Log10Fast(%v) = %v, want NaN", x, got)
+			}
+			continue
+		}
+		if got != want {
+			t.Errorf("Log10Fast(%v) = %v, want %v (bit-exact deferral)", x, got, want)
+		}
+	}
+	for _, x := range []float64{2.2250738585072014e-308, 1, math.MaxFloat64} {
+		got, want := Log10Fast(x), math.Log10(x)
+		if math.Abs(got-want) > 2e-9 {
+			t.Errorf("Log10Fast(%v) = %v, want %v", x, got, want)
+		}
+	}
+}
+
+// BenchmarkLog10 measures the fast path against math.Log10 over the mantissa
+// range the spectrum distance sweeps.
+func BenchmarkLog10(b *testing.B) {
+	xs := make([]float64, 4096)
+	rng := rand.New(rand.NewSource(7))
+	for i := range xs {
+		xs[i] = math.Ldexp(0.5+rng.Float64()/2, rng.Intn(40)-20)
+	}
+	b.Run("math", func(b *testing.B) {
+		var acc float64
+		for i := 0; i < b.N; i++ {
+			acc += math.Log10(xs[i&4095])
+		}
+		sinkFloat = acc
+	})
+	b.Run("fast", func(b *testing.B) {
+		var acc float64
+		for i := 0; i < b.N; i++ {
+			acc += Log10Fast(xs[i&4095])
+		}
+		sinkFloat = acc
+	})
+}
+
+var sinkFloat float64

@@ -786,6 +786,21 @@ func (e *Engine) ensureShards() {
 		}
 		sh.dq.push(l)
 	}
+	// Warm every shard's scratch for every link's kernel: stealing can
+	// migrate any link onto any shard, and a heavy link's first window on a
+	// cold holder would otherwise pay a one-time buffer growth mid
+	// steady-state (the stray bytes/op the Skewed benchmark used to record).
+	// Pure sizing, no compute — on a warmed engine this is a no-op.
+	for _, sh := range e.shards {
+		for _, l := range e.links {
+			if l.det == nil {
+				continue
+			}
+			if prof := l.det.Profile(); prof != nil && len(prof.MeanAmp) > 0 {
+				l.det.Kernel().WarmScratch(sh.sc, len(prof.MeanAmp), e.cfg.WindowSize)
+			}
+		}
+	}
 }
 
 // Run monitors the whole fleet until every link has scored windowsPerLink

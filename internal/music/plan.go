@@ -70,6 +70,15 @@ func (p *Plan) reuseSpectrum(dst *Spectrum) {
 	dst.Power = dst.Power[:len(p.anglesDeg)]
 }
 
+// ReserveSpectrum pre-sizes dst for the plan's scan grid, so the first
+// BartlettInto/PseudospectrumInto on a fresh spectrum allocates nothing.
+func (p *Plan) ReserveSpectrum(dst *Spectrum) {
+	if dst == nil {
+		return
+	}
+	p.reuseSpectrum(dst)
+}
+
 // BartlettInto computes the conventional angular power spectrum
 // B(θ) = aᴴ(θ)·R·a(θ) over the cached steering table into dst, allocating
 // nothing once dst has warmed. Steering rows have unit-modulus entries, so
@@ -189,6 +198,19 @@ func (p *Plan) PseudospectrumInto(dst *Spectrum, r *linalg.Matrix, nSignals int,
 type Partials struct {
 	nAnt, nSub, frames int
 	sums               []complex128
+}
+
+// Reserve pre-sizes the backing storage for an nAnt×nSub frame set without
+// accumulating anything, so a scoring worker can pay the allocation before
+// entering its steady state (e.g. when a link first lands on a shard).
+// Contents are left undefined; Accumulate still fully rewrites them.
+func (p *Partials) Reserve(nAnt, nSub int) {
+	if nAnt <= 0 || nSub <= 0 {
+		return
+	}
+	if tri := nAnt * (nAnt + 1) / 2; cap(p.sums) < tri*nSub {
+		p.sums = make([]complex128, tri*nSub)
+	}
 }
 
 // NewPartials accumulates the partials of a frame set.

@@ -19,6 +19,35 @@ type Scratch struct {
 	out  []*csi.Frame
 }
 
+// Reserve pre-sizes the scratch for sanitizing windows of `frames` frames of
+// nAnt×nSub CSI, so the first real window on a fresh scratch allocates
+// nothing. Existing warmed buffers are kept.
+func (sc *Scratch) Reserve(frames, nAnt, nSub int) {
+	if frames <= 0 || nAnt <= 0 || nSub <= 0 {
+		return
+	}
+	if cap(sc.out) < frames {
+		next := make([]*csi.Frame, frames)
+		copy(next, sc.out[:cap(sc.out)])
+		sc.out = next
+	}
+	for i, f := range sc.out[:frames] {
+		if f == nil || len(f.CSI) != nAnt || len(f.CSI[0]) != nSub {
+			f = &csi.Frame{CSI: make([][]complex128, nAnt), RSSI: make([]float64, 0, nAnt)}
+			for ant := range f.CSI {
+				f.CSI[ant] = make([]complex128, nSub)
+			}
+			sc.out[i] = f
+		}
+	}
+	growFloats(&sc.xs, nSub)
+	growFloats(&sc.ph, nSub)
+	growFloats(&sc.mean, nSub)
+	if cap(sc.rot) < nSub {
+		sc.rot = make([]complex128, nSub)
+	}
+}
+
 // Frames sanitizes a batch like the package-level Frames, but into frame
 // buffers owned by the scratch.
 func (sc *Scratch) Frames(frames []*csi.Frame, idx []int) ([]*csi.Frame, error) {

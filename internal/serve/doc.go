@@ -1,0 +1,30 @@
+// Package serve is the encode-once HTTP serving plane over a monitoring
+// engine: JSON verdict and link endpoints, a Prometheus text exposition, and
+// server-sent-event verdict streaming to thousands of subscribers.
+//
+// The design center is the fan-out Hub. Every fusion round is read once from
+// the engine's lock-free snapshots (VerdictInto), serialized once into a
+// reference-counted, pooled Frame — SSE envelope and JSON document in one
+// contiguous buffer — and every subscriber receives a slice of that shared
+// buffer through a small per-subscriber latest-wins ring. The scoring path
+// pays one wait-free Notify per round regardless of subscriber count; a
+// subscriber that stops draining coalesces to the newest round, and after
+// MaxLag consecutive losses the hub sheds it, so no client can ever
+// back-pressure the engine or its sibling watchers. Steady state allocates
+// nothing: frames recycle through a freelist, rings are fixed, and the JSON,
+// SSE and Prometheus encoders are pure append into reused buffers
+// (BenchmarkBroadcastFanout gates one-encode-per-round and 0 allocs per
+// delivery in CI).
+//
+// Endpoints (all read-only):
+//
+//	GET /v1/verdict  — fused SiteVerdict as JSON; a dead site is a
+//	                   well-formed document with "inconclusive": true and
+//	                   live Coverage counts, never an error string
+//	GET /v1/links    — per-link monitoring state and fleet counters
+//	GET /metrics     — Prometheus text format, fed by MetricsInto
+//	GET /v1/stream   — SSE verdict subscription over the Hub
+//
+// Requests pass a tracing middleware (monotonic X-Trace-Id, one log line per
+// request) and, on the JSON endpoints, pooled gzip compression.
+package serve

@@ -1,0 +1,255 @@
+package serve
+
+import (
+	"compress/gzip"
+	"context"
+	"errors"
+	"net"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mlink/internal/engine"
+)
+
+// Engine is the monitoring surface the HTTP plane serves: the facade
+// mlink.Engine and the internal engine.Engine both satisfy it.
+type Engine interface {
+	VerdictInto(*engine.SiteVerdict) error
+	MetricsInto(*engine.Metrics)
+}
+
+// Options parameterizes a Server. The zero value serves JSON and Prometheus
+// endpoints without streaming.
+type Options struct {
+	// Hub, when non-nil, backs GET /v1/stream with live verdict fan-out and
+	// adds the stream counters to /metrics.
+	Hub *Hub
+	// Logf receives one line per request from the tracing middleware
+	// (nil = silent).
+	Logf func(format string, args ...any)
+	// WriteTimeout is the per-write deadline on SSE frames — the transport
+	// backstop behind the hub's latest-wins shedding (default 10s).
+	WriteTimeout time.Duration
+}
+
+// Server is the read-only HTTP serving plane over a running engine:
+//
+//	GET /v1/verdict  — the fused site verdict as JSON (gzip-aware)
+//	GET /v1/links    — per-link monitoring state as JSON (gzip-aware)
+//	GET /metrics     — Prometheus text exposition
+//	GET /v1/stream   — SSE verdict subscription (encode-once fan-out)
+//
+// All state is read through the engine's allocation-free Into snapshots, so
+// serving never blocks a scoring shard.
+type Server struct {
+	eng          Engine
+	hub          *Hub
+	logf         func(format string, args ...any)
+	writeTimeout time.Duration
+
+	traceID atomic.Uint64
+	gzPool  sync.Pool
+	vPool   sync.Pool // *verdictScratch
+
+	// metricsMu serializes the /metrics and /v1/links snapshots through one
+	// reused engine.Metrics block and output buffer.
+	metricsMu sync.Mutex
+	metrics   engine.Metrics
+	promBuf   []byte
+	linksBuf  []byte
+}
+
+type verdictScratch struct {
+	v   engine.SiteVerdict
+	buf []byte
+}
+
+// NewServer builds the serving plane over eng.
+func NewServer(eng Engine, opts Options) *Server {
+	if opts.WriteTimeout <= 0 {
+		opts.WriteTimeout = 10 * time.Second
+	}
+	s := &Server{
+		eng:          eng,
+		hub:          opts.Hub,
+		logf:         opts.Logf,
+		writeTimeout: opts.WriteTimeout,
+	}
+	s.gzPool.New = func() any { return gzip.NewWriter(nil) }
+	s.vPool.New = func() any { return new(verdictScratch) }
+	return s
+}
+
+// Handler returns the routed handler with tracing (and, on the JSON
+// endpoints, gzip) middleware applied.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/verdict", s.gzipped(s.handleVerdict))
+	mux.HandleFunc("GET /v1/links", s.gzipped(s.handleLinks))
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /v1/stream", s.handleStream)
+	return s.traced(mux)
+}
+
+func (s *Server) handleVerdict(w http.ResponseWriter, r *http.Request) {
+	sc := s.vPool.Get().(*verdictScratch)
+	defer s.vPool.Put(sc)
+	err := s.eng.VerdictInto(&sc.v)
+	switch {
+	case err == nil:
+	case errors.Is(err, engine.ErrNoDecisions):
+		// No link has scored a window yet: the contract is a well-formed
+		// verdict document, never an error string — an empty site reads as
+		// inconclusive with its coverage intact (VerdictInto filled it).
+		sc.v.Inconclusive = true
+		sc.v.Present = false
+		sc.v.Links = sc.v.Links[:0]
+	default:
+		http.Error(w, http.StatusText(http.StatusServiceUnavailable), http.StatusServiceUnavailable)
+		return
+	}
+	sc.buf = AppendVerdict(sc.buf[:0], &sc.v)
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(sc.buf)
+}
+
+func (s *Server) handleLinks(w http.ResponseWriter, r *http.Request) {
+	s.metricsMu.Lock()
+	s.eng.MetricsInto(&s.metrics)
+	s.linksBuf = AppendLinks(s.linksBuf[:0], &s.metrics)
+	buf := s.linksBuf
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(buf)
+	s.metricsMu.Unlock()
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.metricsMu.Lock()
+	s.eng.MetricsInto(&s.metrics)
+	s.promBuf = AppendMetrics(s.promBuf[:0], &s.metrics, s.hub)
+	buf := s.promBuf
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.Write(buf)
+	s.metricsMu.Unlock()
+}
+
+func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
+	if s.hub == nil {
+		http.Error(w, "streaming not enabled", http.StatusNotFound)
+		return
+	}
+	sub, err := s.hub.Subscribe()
+	if err != nil {
+		http.Error(w, http.StatusText(http.StatusServiceUnavailable), http.StatusServiceUnavailable)
+		return
+	}
+	defer sub.Close()
+	h := w.Header()
+	h.Set("Content-Type", "text/event-stream")
+	h.Set("Cache-Control", "no-cache")
+	h.Set("X-Accel-Buffering", "no")
+	w.WriteHeader(http.StatusOK)
+	rc := http.NewResponseController(w)
+	rc.Flush()
+	for {
+		f, err := sub.Next(r.Context())
+		if err != nil {
+			// Shed, closed hub, or client gone — either way the stream ends;
+			// SSE clients reconnect and resume from the newest round.
+			return
+		}
+		// The write deadline is the transport backstop: a peer that stops
+		// reading while the hub still considers the subscription draining
+		// gets cut at the socket.
+		rc.SetWriteDeadline(time.Now().Add(s.writeTimeout))
+		_, werr := w.Write(f.Bytes())
+		f.Release()
+		if werr != nil || rc.Flush() != nil {
+			return
+		}
+	}
+}
+
+// traced wraps h with the request-scoped tracing middleware: every request
+// gets a monotonic trace ID echoed in X-Trace-Id and, when Logf is set, one
+// completion line with status and duration.
+func (s *Server) traced(h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := s.traceID.Add(1)
+		w.Header().Set("X-Trace-Id", strconv.FormatUint(id, 10))
+		if s.logf == nil {
+			h.ServeHTTP(w, r)
+			return
+		}
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		start := time.Now()
+		h.ServeHTTP(sw, r)
+		s.logf("trace=%d %s %s status=%d dur=%s", id, r.Method, r.URL.Path, sw.code, time.Since(start))
+	})
+}
+
+// gzipped wraps a JSON handler with response compression when the client
+// accepts it. Writers are pooled; streaming and Prometheus endpoints stay
+// uncompressed (SSE must flush per frame, and scrapers prefer identity).
+func (s *Server) gzipped(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if !strings.Contains(r.Header.Get("Accept-Encoding"), "gzip") {
+			h(w, r)
+			return
+		}
+		gz := s.gzPool.Get().(*gzip.Writer)
+		gz.Reset(w)
+		w.Header().Set("Content-Encoding", "gzip")
+		h(&gzipWriter{ResponseWriter: w, gz: gz}, r)
+		gz.Close()
+		s.gzPool.Put(gz)
+	}
+}
+
+type gzipWriter struct {
+	http.ResponseWriter
+	gz *gzip.Writer
+}
+
+func (w *gzipWriter) Write(p []byte) (int, error) { return w.gz.Write(p) }
+
+// statusWriter records the response code for the trace log.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// Unwrap lets http.ResponseController reach the underlying writer's Flush
+// and SetWriteDeadline through the middleware.
+func (w *statusWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }
+
+// ListenAndServe serves handler on addr until ctx is cancelled, then drains
+// gracefully: in-flight requests (including SSE streams, which end when
+// their subscriptions close) get up to the grace period before the listener
+// is torn down.
+func ListenAndServe(ctx context.Context, addr string, handler http.Handler) error {
+	srv := &http.Server{Addr: addr, Handler: handler, BaseContext: func(net.Listener) context.Context { return ctx }}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(shutdownCtx); err != nil {
+			srv.Close()
+		}
+		<-errc // http.ErrServerClosed
+		return nil
+	}
+}
